@@ -1,0 +1,51 @@
+/// Reproduces Fig. 8-b and Fig. 8-c: VCSEL wall-plug efficiency vs drive
+/// current for device temperatures 10..70 degC, and emitted optical power
+/// vs dissipated power PVCSEL (with local self-heating, which produces the
+/// roll-over of the high-temperature curves).
+#include <iostream>
+
+#include "core/tech.hpp"
+#include "photonics/vcsel.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace photherm;
+  const auto model = core::make_snr_model();
+  const photonics::Vcsel vcsel(model.vcsel);
+
+  {
+    Table table({"IVCSEL (mA)", "10C", "20C", "30C", "40C", "50C", "60C", "70C"});
+    table.set_precision(3);
+    for (double i_ma = 1.0; i_ma <= 15.0001; i_ma += 1.0) {
+      std::vector<TableCell> row{i_ma};
+      for (double t = 10.0; t <= 70.0; t += 10.0) {
+        row.push_back(vcsel.wall_plug_efficiency(i_ma * units::mA, t) * 100.0);
+      }
+      table.add_row(std::move(row));
+    }
+    print_table(std::cout, "Fig. 8-b: wall-plug efficiency (%) vs IVCSEL and temperature",
+                table);
+    std::cout << "paper anchors: ~15 % at 40 degC dropping to ~4 % at 60 degC\n\n";
+  }
+
+  {
+    // Fig. 8-c: OPVCSEL vs PVCSEL. The x axis is the dissipated power; the
+    // curves self-heat through the local thermal resistance (~1.8 K/mW, the
+    // Fig. 9-a local sensitivity), which bends them over at high drive.
+    const double r_th = 1.8e3;  // [K/W]
+    Table table({"PVCSEL (mW)", "10C", "20C", "30C", "40C", "50C", "60C", "70C"});
+    table.set_precision(3);
+    for (double p_mw = 1.0; p_mw <= 20.0001; p_mw += 1.0) {
+      std::vector<TableCell> row{p_mw};
+      for (double t = 10.0; t <= 70.0; t += 10.0) {
+        row.push_back(vcsel.output_power_for_dissipated(p_mw * units::mW, t, r_th) * 1e3);
+      }
+      table.add_row(std::move(row));
+    }
+    print_table(std::cout,
+                "Fig. 8-c: emitted power OPVCSEL (mW) vs dissipated PVCSEL and base temperature",
+                table);
+    std::cout << "paper shape: monotone rise with roll-over, strongly derated at 60-70 degC\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// Reproduces Fig. 9-a: ONI average temperature vs PVCSEL (0..6 mW per
+/// laser) for chip activities Pchip in {12.5, 18.75, 25, 31.25} W, uniform
+/// activity, MR heaters off, one ONI per tile (24 interfaces). The paper's
+/// trends: ~+3.3 degC per +6.25 W of chip power and ~+11 degC from 0 to
+/// 6 mW of PVCSEL.
+///
+/// Set PHOTHERM_FAST=1 for a reduced sweep (used by smoke runs).
+#include <cstdlib>
+#include <iostream>
+
+#include "core/design_space.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace photherm;
+  const bool fast = std::getenv("PHOTHERM_FAST") != nullptr;
+
+  core::OnocDesignSpec spec;
+  spec.placement = core::OniPlacementMode::kAllTiles;
+  spec.activity = power::ActivityKind::kUniform;
+  spec.heater_ratio = 0.0;  // heaters explored in Fig. 9-b
+  if (fast) {
+    spec.oni_cell_xy = 10e-6;
+    spec.global_cell_xy = 2e-3;
+  }
+
+  const std::vector<double> p_chip =
+      fast ? std::vector<double>{12.5, 25.0} : std::vector<double>{12.5, 18.75, 25.0, 31.25};
+  const std::vector<double> p_vcsel =
+      fast ? std::vector<double>{0.0, 3e-3, 6e-3}
+           : std::vector<double>{0.0, 1e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3};
+
+  const auto sweep = core::sweep_vcsel_chip_power(spec, p_chip, p_vcsel);
+
+  Table table({"Pchip (W)", "PVCSEL (mW)", "ONI avg T (degC)", "gradient (degC)"});
+  for (const auto& row : sweep) {
+    table.add_row({row.p_chip, row.p_vcsel * 1e3, row.average, row.gradient});
+  }
+  print_table(std::cout, "Fig. 9-a: ONI average temperature vs PVCSEL and Pchip", table);
+
+  // Paper-trend summary: sensitivity to chip power and to laser power.
+  const auto at = [&](double chip, double vcsel) -> const core::AvgTemperaturePoint& {
+    for (const auto& row : sweep) {
+      if (row.p_chip == chip && row.p_vcsel == vcsel) {
+        return row;
+      }
+    }
+    throw Error("sweep point not found");
+  };
+  const double chip_lo = p_chip.front();
+  const double chip_hi = p_chip.back();
+  const double dv = p_vcsel.back();
+  const double chip_slope =
+      (at(chip_hi, 0.0).average - at(chip_lo, 0.0).average) / (chip_hi - chip_lo);
+  const double vcsel_slope = (at(chip_lo, dv).average - at(chip_lo, 0.0).average) / (dv * 1e3);
+  std::cout << "chip-power sensitivity: " << chip_slope << " degC/W (paper ~0.53 degC/W)\n"
+            << "PVCSEL sensitivity:     " << vcsel_slope
+            << " degC/mW (paper ~1.8 degC/mW: +11 degC over 6 mW)\n";
+  return 0;
+}

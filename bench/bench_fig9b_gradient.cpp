@@ -1,0 +1,48 @@
+/// Reproduces Fig. 9-b: intra-ONI gradient temperature vs MR heater power
+/// Pheater (0..4 mW) for PVCSEL in {1, 2, 4, 6} mW, uniform 25 W activity.
+/// Paper finding: the gradient is minimised near Pheater = 0.3 x PVCSEL.
+///
+/// Set PHOTHERM_FAST=1 for a reduced sweep.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/methodology.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace photherm;
+  const bool fast = std::getenv("PHOTHERM_FAST") != nullptr;
+
+  core::OnocDesignSpec base;
+  base.placement = core::OniPlacementMode::kAllTiles;
+  base.activity = power::ActivityKind::kUniform;
+  base.chip_power = 25.0;
+  if (fast) {
+    base.oni_cell_xy = 10e-6;
+    base.global_cell_xy = 2e-3;
+  }
+
+  const std::vector<double> p_vcsel =
+      fast ? std::vector<double>{2e-3, 6e-3} : std::vector<double>{1e-3, 2e-3, 4e-3, 6e-3};
+  const std::vector<double> ratios =
+      fast ? std::vector<double>{0.0, 0.3, 0.6}
+           : std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0};
+
+  Table table({"PVCSEL (mW)", "Pheater (mW)", "ratio", "gradient (degC)", "ONI avg (degC)"});
+  for (double pv : p_vcsel) {
+    core::OnocDesignSpec spec = base;
+    spec.p_vcsel = pv;
+    const auto sweep = core::explore_heater_ratios(spec, ratios);
+    for (const auto& point : sweep) {
+      table.add_row({pv * 1e3, point.p_heater * 1e3, point.heater_ratio, point.gradient,
+                     point.oni_average});
+    }
+    const auto& best = core::best_heater_point(sweep);
+    std::cout << "PVCSEL = " << pv * 1e3 << " mW: smallest gradient " << best.gradient
+              << " degC at Pheater = " << best.p_heater * 1e3
+              << " mW (ratio " << best.heater_ratio << "; paper optimum ~0.3)\n";
+  }
+  std::cout << "\n";
+  print_table(std::cout, "Fig. 9-b: gradient temperature vs Pheater and PVCSEL", table);
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// Timing benchmarks (google-benchmark) of the numerical core: sparse
+/// matrix-vector products, the preconditioned solvers and full FVM solves
+/// at the resolutions the methodology uses.
+#include <benchmark/benchmark.h>
+
+#include "geometry/stack.hpp"
+#include "math/solvers.hpp"
+#include "thermal/fvm.hpp"
+
+using namespace photherm;
+
+namespace {
+
+/// A silicon slab with a hotspot, meshed at `cell` resolution.
+thermal::DiscreteSystem make_system(double cell, std::size_t* cells_out) {
+  const double a = 2e-3;
+  geometry::Scene scene;
+  geometry::LayerStackBuilder stack(a, a);
+  stack.add_layer({"die", "silicon", 300e-6});
+  stack.emit(scene);
+  geometry::Block heat;
+  heat.name = "hotspot";
+  heat.box = geometry::Box3::make({a / 4, a / 4, 0}, {a / 2, a / 2, 100e-6});
+  heat.material = scene.materials().id_of("silicon");
+  heat.power = 1.0;
+  scene.add(std::move(heat));
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = cell;
+  options.default_max_cell_z = 50e-6;
+  const auto mesh = mesh::RectilinearMesh::build(scene, options);
+  if (cells_out != nullptr) {
+    *cells_out = mesh.cell_count();
+  }
+  thermal::BoundarySet bcs;
+  bcs[thermal::Face::kZMax] = thermal::FaceBc::convection(5e3, 30.0);
+  return thermal::assemble(mesh, bcs);
+}
+
+void BM_SpMV(benchmark::State& state) {
+  std::size_t cells = 0;
+  const auto system = make_system(2e-3 / static_cast<double>(state.range(0)), &cells);
+  math::Vector x(system.matrix.cols(), 1.0);
+  math::Vector y(system.matrix.rows());
+  for (auto _ : state) {
+    system.matrix.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * system.matrix.nnz()));
+}
+BENCHMARK(BM_SpMV)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CgIlu0(benchmark::State& state) {
+  std::size_t cells = 0;
+  const auto system = make_system(2e-3 / static_cast<double>(state.range(0)), &cells);
+  for (auto _ : state) {
+    math::Vector x;
+    math::SolverOptions options;
+    options.preconditioner = math::PreconditionerKind::kIlu0;
+    const auto result = math::conjugate_gradient(system.matrix, system.rhs, x, options);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+}
+BENCHMARK(BM_CgIlu0)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_CgSsor(benchmark::State& state) {
+  std::size_t cells = 0;
+  const auto system = make_system(2e-3 / static_cast<double>(state.range(0)), &cells);
+  for (auto _ : state) {
+    math::Vector x;
+    math::SolverOptions options;
+    options.preconditioner = math::PreconditionerKind::kSsor;
+    const auto result = math::conjugate_gradient(system.matrix, system.rhs, x, options);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+}
+BENCHMARK(BM_CgSsor)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Assembly(benchmark::State& state) {
+  const double a = 2e-3;
+  geometry::Scene scene;
+  geometry::LayerStackBuilder stack(a, a);
+  stack.add_layer({"die", "silicon", 300e-6});
+  stack.emit(scene);
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 2e-3 / static_cast<double>(state.range(0));
+  options.default_max_cell_z = 50e-6;
+  const auto mesh = mesh::RectilinearMesh::build(scene, options);
+  thermal::BoundarySet bcs;
+  bcs[thermal::Face::kZMax] = thermal::FaceBc::convection(5e3, 30.0);
+  for (auto _ : state) {
+    auto system = thermal::assemble(mesh, bcs);
+    benchmark::DoNotOptimize(system.rhs.data());
+  }
+  state.counters["cells"] = static_cast<double>(mesh.cell_count());
+}
+BENCHMARK(BM_Assembly)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

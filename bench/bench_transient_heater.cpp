@@ -1,0 +1,88 @@
+/// Extension bench (Sec. II discussion): run-time MR calibration is paced
+/// by *heating latency*. Using the transient solver, step an MR heater on
+/// and report the ring's temperature settling — the time constant a
+/// closed-loop calibration controller must respect.
+#include <iostream>
+
+#include "geometry/stack.hpp"
+#include "thermal/transient.hpp"
+#include "util/csv.hpp"
+
+using namespace photherm;
+
+int main() {
+  // A 400 um silicon tile with a 10x10 um heater film on a ring volume.
+  geometry::Scene scene;
+  geometry::LayerStackBuilder stack(400e-6, 400e-6);
+  stack.add_layer({"bulk", "silicon", 50e-6});
+  stack.add_layer({"box", "silicon_dioxide", 2e-6});
+  stack.add_layer({"device", "optical_matrix", 4e-6});
+  stack.emit(scene);
+
+  geometry::Block ring;
+  ring.name = "mr";
+  ring.box = geometry::Box3::make({195e-6, 195e-6, 52e-6}, {205e-6, 205e-6, 55.5e-6});
+  ring.material = scene.materials().id_of("silicon");
+  ring.kind = geometry::BlockKind::kMicroRing;
+  scene.add(ring);
+
+  geometry::Block heater;
+  heater.name = "heater";
+  heater.box = geometry::Box3::make({195e-6, 195e-6, 55.5e-6}, {205e-6, 205e-6, 56e-6});
+  heater.material = scene.materials().id_of("copper");
+  heater.power = 1e-3;  // 1 mW step
+  heater.kind = geometry::BlockKind::kHeater;
+  scene.add(heater);
+
+  thermal::BoundarySet bcs;
+  bcs[thermal::Face::kZMin] = thermal::FaceBc::dirichlet(50.0);  // die held at 50 degC
+
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 20e-6;
+  mesh::RefinementBox refine;
+  refine.box = geometry::Box3::make({170e-6, 170e-6, 50e-6}, {230e-6, 230e-6, 56e-6});
+  refine.max_cell_xy = 5e-6;
+  refine.max_cell_z = 1e-6;
+  options.refinements.push_back(refine);
+  auto mesh = std::make_shared<const mesh::RectilinearMesh>(
+      mesh::RectilinearMesh::build(scene, options));
+
+  // Steady state = final value; transient from a cold (uniform) start.
+  const auto steady = thermal::solve_steady_state(mesh, bcs);
+  const double t_final = steady.average_in(ring.box);
+
+  thermal::TransientOptions topts;
+  topts.time_step = 2e-6;  // 2 us steps
+  thermal::TransientSolver solver(mesh, bcs, topts);
+  solver.set_uniform_state(50.0);
+
+  Table table({"time (us)", "MR temperature (degC)", "settled (%)"});
+  table.set_precision(5);
+  double t63 = -1.0;
+  double t95 = -1.0;
+  for (int step = 1; step <= 60; ++step) {
+    const auto field = solver.step();
+    const double t_mr = field.average_in(ring.box);
+    const double settled = (t_mr - 50.0) / (t_final - 50.0) * 100.0;
+    if (t63 < 0.0 && settled >= 63.2) {
+      t63 = solver.time();
+    }
+    if (t95 < 0.0 && settled >= 95.0) {
+      t95 = solver.time();
+    }
+    if (step <= 10 || step % 5 == 0) {
+      table.add_row({solver.time() * 1e6, t_mr, settled});
+    }
+  }
+  print_table(std::cout, "MR heater step response (1 mW step, die at 50 degC)", table);
+  std::cout << "final (steady) MR rise: " << t_final - 50.0 << " degC per mW\n";
+  if (t63 > 0.0) {
+    std::cout << "thermal time constant (63%): " << t63 * 1e6 << " us\n";
+  }
+  if (t95 > 0.0) {
+    std::cout << "95% settling: " << t95 * 1e6 << " us\n";
+  }
+  std::cout << "closed-loop MR calibration (Sec. II refs [12][16]) must bandwidth-limit\n"
+               "to a fraction of this settling rate.\n";
+  return 0;
+}

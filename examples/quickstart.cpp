@@ -1,0 +1,42 @@
+/// Quickstart: build a small VCSEL-based ONoC design point, run the full
+/// thermal-aware methodology (thermal simulation + SNR analysis) and print
+/// the report. Start here to learn the public API.
+#include <iostream>
+
+#include "core/design_space.hpp"
+#include "core/methodology.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace photherm;
+
+  // 1. Describe the design point. Defaults model the paper's SCC case
+  //    study; here we shrink the thermal resolution for a fast first run.
+  core::OnocDesignSpec spec;
+  spec.placement = core::OniPlacementMode::kRing;
+  spec.ring_case_id = 1;                  // 18 mm ring, 4 ONIs (Fig. 11)
+  spec.activity = power::ActivityKind::kUniform;
+  spec.chip_power = 25.0;                 // watts over the 24 SCC tiles
+  spec.p_vcsel = 3.6 * units::mW;         // the paper's Sec. V-C drive
+  spec.heater_ratio = 0.30;               // Pheater = 0.3 x PVCSEL (optimum)
+  spec.global_cell_xy = 2e-3;             // coarse demo resolution
+  spec.oni_cell_xy = 10e-6;
+
+  // 2. Run the methodology: thermal two-level solve + SNR analysis.
+  const core::ThermalAwareDesigner designer(spec);
+  const core::DesignReport report = designer.run();
+
+  // 3. Inspect the results.
+  print_table(std::cout, "Per-ONI thermal report", report.thermal.to_table());
+  std::cout << "chip average temperature: " << report.thermal.chip_average << " degC\n"
+            << "worst intra-ONI gradient: " << report.thermal.max_gradient << " degC"
+            << (report.gradient_ok() ? " (meets the <1 degC constraint)" : " (VIOLATION)")
+            << "\n\n";
+
+  if (report.snr) {
+    print_table(std::cout, "Per-communication SNR", report.snr->to_table());
+    std::cout << "worst-case SNR: " << report.snr->network.worst_snr_db << " dB\n"
+              << "all links detectable: " << (report.links_ok() ? "yes" : "no") << "\n";
+  }
+  return 0;
+}

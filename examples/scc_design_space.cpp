@@ -1,0 +1,69 @@
+/// Full design-space exploration on the SCC case study (the paper's Sec. V
+/// workflow): sweep the laser power, find the heater ratio minimising the
+/// intra-ONI gradient, then verify the chosen point meets the < 1 degC
+/// constraint and report its SNR.
+///
+/// Usage: scc_design_space [chip_power_watts] (default 25).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/design_space.hpp"
+#include "core/methodology.hpp"
+#include "util/string_util.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace photherm;
+  const double chip_power = argc > 1 ? std::atof(argv[1]) : 25.0;
+
+  core::OnocDesignSpec base;
+  base.placement = core::OniPlacementMode::kAllTiles;  // thermal sweeps
+  base.activity = power::ActivityKind::kUniform;
+  base.chip_power = chip_power;
+  base.oni_cell_xy = 10e-6;  // demo resolution
+  base.global_cell_xy = 2e-3;
+
+  std::cout << "SCC thermal-aware design-space exploration (Pchip = " << chip_power
+            << " W)\n\n";
+
+  // --- Step 1: laser power sweep at fixed heater ratio. -------------------
+  Table laser_sweep({"PVCSEL (mW)", "ONI avg (degC)", "gradient (degC)", "meets <1 degC"});
+  for (double pv : {1e-3, 2e-3, 4e-3, 6e-3}) {
+    core::OnocDesignSpec spec = base;
+    spec.p_vcsel = pv;
+    const auto point = core::explore_heater_ratios(spec, {spec.heater_ratio}).front();
+    laser_sweep.add_row({pv * 1e3, point.oni_average, point.gradient,
+                         std::string(point.gradient < 1.0 ? "yes" : "no")});
+  }
+  print_table(std::cout, "Step 1: PVCSEL sweep (heater at 0.3x)", laser_sweep);
+
+  // --- Step 2: heater exploration at the paper's drive (3.6 mW). ----------
+  core::OnocDesignSpec spec = base;
+  spec.p_vcsel = 3.6e-3;
+  const auto sweep = core::explore_heater_ratios(spec, {0.0, 0.15, 0.3, 0.45, 0.6});
+  Table heater_table({"ratio", "Pheater (mW)", "gradient (degC)", "ONI avg (degC)"});
+  for (const auto& p : sweep) {
+    heater_table.add_row({p.heater_ratio, p.p_heater * 1e3, p.gradient, p.oni_average});
+  }
+  print_table(std::cout, "Step 2: MR heater exploration at PVCSEL = 3.6 mW", heater_table);
+  const auto& best = core::best_heater_point(sweep);
+  std::cout << "selected heater ratio: " << best.heater_ratio << " (Pheater = "
+            << format_power(best.p_heater) << ", gradient " << format_fixed(best.gradient, 2)
+            << " degC)\n\n";
+
+  // --- Step 3: SNR of the chosen design point on the ring placement. ------
+  spec.placement = core::OniPlacementMode::kRing;
+  spec.ring_case_id = 2;  // 32.4 mm, 8 ONIs
+  spec.heater_ratio = best.heater_ratio;
+  const auto report = core::ThermalAwareDesigner(spec).run();
+  print_table(std::cout, "Step 3: thermal report of the chosen design point",
+              report.thermal.to_table());
+  if (report.snr) {
+    std::cout << "worst-case SNR: " << format_fixed(report.snr->network.worst_snr_db, 1)
+              << " dB over " << report.snr->waveguide_length * 1e3 << " mm\n"
+              << "links closing (power + SNR): " << (report.links_ok() ? "all" : "NOT all")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "core/design_space.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace photherm::core {
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  PH_REQUIRE(count >= 2, "linspace needs at least two points");
+  PH_REQUIRE(hi > lo, "linspace range must be increasing");
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(count - 1);
+  }
+  return out;
+}
+
+std::vector<AvgTemperaturePoint> sweep_vcsel_chip_power(const OnocDesignSpec& base,
+                                                        const std::vector<double>& p_chip,
+                                                        const std::vector<double>& p_vcsel) {
+  PH_REQUIRE(!p_chip.empty() && !p_vcsel.empty(), "empty sweep axes");
+  std::vector<AvgTemperaturePoint> out;
+  out.reserve(p_chip.size() * p_vcsel.size());
+  for (double chip : p_chip) {
+    for (double vcsel : p_vcsel) {
+      OnocDesignSpec spec = base;
+      spec.chip_power = chip;
+      spec.p_vcsel = vcsel;
+      // Representative ONI: reuse the heater-sweep helper's convention
+      // (most central interface) by sweeping a single ratio.
+      const auto point = explore_heater_ratios(spec, {spec.heater_ratio}).front();
+      AvgTemperaturePoint row;
+      row.p_chip = chip;
+      row.p_vcsel = vcsel;
+      row.average = point.oni_average;
+      row.gradient = point.gradient;
+      out.push_back(row);
+      PH_LOG_INFO << "Pchip=" << chip << " W, PVCSEL=" << vcsel * 1e3
+                  << " mW -> avg=" << row.average << " degC, gradient=" << row.gradient;
+    }
+  }
+  return out;
+}
+
+std::vector<SnrSweepPoint> sweep_snr(const OnocDesignSpec& base,
+                                     const std::vector<int>& ring_cases,
+                                     const std::vector<power::ActivityKind>& activities) {
+  PH_REQUIRE(!ring_cases.empty() && !activities.empty(), "empty sweep axes");
+  std::vector<SnrSweepPoint> out;
+  for (power::ActivityKind activity : activities) {
+    for (int rc : ring_cases) {
+      OnocDesignSpec spec = base;
+      spec.placement = OniPlacementMode::kRing;
+      spec.ring_case_id = rc;
+      spec.activity = activity;
+      const ThermalAwareDesigner designer(spec);
+      const DesignReport report = designer.run();
+      PH_REQUIRE(report.snr.has_value(), "ring run must produce an SNR report");
+
+      SnrSweepPoint row;
+      row.ring_case = rc;
+      row.waveguide_length = report.snr->waveguide_length;
+      row.activity = activity;
+      row.worst_snr_db = report.snr->network.worst_snr_db;
+      const noc::CommResult& worst = report.snr->network.worst_comm();
+      row.signal_power = worst.signal_power;
+      row.crosstalk_power = worst.crosstalk_power;
+      double t_min = report.thermal.onis.front().average;
+      double t_max = t_min;
+      for (const OniThermalReport& r : report.thermal.onis) {
+        t_min = std::min(t_min, r.average);
+        t_max = std::max(t_max, r.average);
+      }
+      row.oni_t_min = t_min;
+      row.oni_t_max = t_max;
+      out.push_back(row);
+      PH_LOG_INFO << "case " << rc << " (" << power::to_string(activity)
+                  << "): worst SNR = " << row.worst_snr_db << " dB";
+    }
+  }
+  return out;
+}
+
+}  // namespace photherm::core

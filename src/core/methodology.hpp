@@ -1,0 +1,108 @@
+/// \file methodology.hpp
+/// \brief The paper's contribution: the thermal-aware design methodology
+/// (Fig. 3). Pipeline: system specification -> steady-state thermal
+/// simulation (two-level FVM) -> per-ONI temperature/gradient extraction ->
+/// MR-heater design-space exploration -> SNR analysis -> design report.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "noc/snr.hpp"
+#include "soc/placement.hpp"
+#include "thermal/two_level.hpp"
+#include "util/csv.hpp"
+
+namespace photherm::core {
+
+/// Thermal summary of one ONI.
+struct OniThermalReport {
+  int oni = 0;
+  double average = 0.0;        ///< ONI average temperature [degC]
+  /// The paper's "gradient temperature" of an interface: spread between
+  /// the per-device average temperatures (hot lasers vs cooler rings).
+  double gradient = 0.0;
+  double peak_spread = 0.0;    ///< raw max - min over every cell of the ONI
+  double vcsel_average = 0.0;  ///< average over the VCSEL volumes
+  double mr_average = 0.0;     ///< average over the MR volumes
+  double vcsel_to_mr = 0.0;    ///< laser-to-ring average difference
+};
+
+struct ThermalReport {
+  std::vector<OniThermalReport> onis;
+  double chip_average = 0.0;    ///< over the heat-source layer
+  double max_gradient = 0.0;    ///< worst intra-ONI gradient
+  double oni_average = 0.0;     ///< mean of the ONI averages
+  double oni_spread = 0.0;      ///< max - min of the ONI averages
+
+  const OniThermalReport& hottest() const;
+  Table to_table() const;
+};
+
+struct SnrReport {
+  noc::NetworkResult network;
+  double waveguide_length = 0.0;  ///< ring perimeter [m]
+  std::size_t oni_count = 0;
+
+  Table to_table() const;
+};
+
+struct DesignReport {
+  OnocDesignSpec spec;
+  ThermalReport thermal;
+  std::optional<SnrReport> snr;  ///< absent for kAllTiles placement
+
+  /// Design verdict: gradient below 1 degC (paper Sec. IV-C constraint)
+  /// and every link closes.
+  bool gradient_ok() const;
+  bool links_ok() const;
+};
+
+/// Orchestrates the methodology for one design point; reusable across
+/// sweeps (benches mutate the spec between runs).
+class ThermalAwareDesigner {
+ public:
+  explicit ThermalAwareDesigner(OnocDesignSpec spec);
+
+  const OnocDesignSpec& spec() const { return spec_; }
+
+  /// Build the 3-D system (scene + ONIs) for the current spec.
+  soc::SccSystem build_system() const;
+
+  /// Steady-state thermal evaluation: coarse global solve plus a fine
+  /// window per ONI. When `only_oni` is set, just that interface is
+  /// refined (cuts sweep cost; the paper's Fig. 9 tracks one interface).
+  ThermalReport evaluate_thermal(std::optional<int> only_oni = std::nullopt) const;
+
+  /// SNR analysis from ONI temperatures (ring placement only).
+  SnrReport analyze_snr(const ThermalReport& thermal) const;
+
+  /// Full pipeline.
+  DesignReport run() const;
+
+ private:
+  thermal::BoundarySet boundary_conditions() const;
+  mesh::MeshOptions global_mesh_options() const;
+  thermal::TwoLevelOptions two_level_options() const;
+
+  OnocDesignSpec spec_;
+};
+
+/// Explore heater ratios and return (ratio, worst gradient, average) rows —
+/// the Fig. 9-b / Fig. 10 experiment in library form. The gradient is
+/// evaluated on the representative ONI closest to the die centre.
+struct HeaterSweepPoint {
+  double heater_ratio = 0.0;
+  double p_heater = 0.0;       ///< [W]
+  double gradient = 0.0;       ///< [degC]
+  double oni_average = 0.0;    ///< [degC]
+};
+
+std::vector<HeaterSweepPoint> explore_heater_ratios(const OnocDesignSpec& base,
+                                                    const std::vector<double>& ratios);
+
+/// Pick the sweep point with the smallest gradient.
+const HeaterSweepPoint& best_heater_point(const std::vector<HeaterSweepPoint>& sweep);
+
+}  // namespace photherm::core

@@ -1,0 +1,64 @@
+/// \file spec.hpp
+/// \brief Complete specification of a thermal-aware ONoC design point —
+/// the "system specification" inputs of the methodology (Fig. 3):
+/// packaging, architecture, ONI composition, VCSEL drive, heater power and
+/// chip activity.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tech.hpp"
+#include "mesh/mesh.hpp"
+#include "power/activity.hpp"
+#include "soc/scc.hpp"
+
+namespace photherm::core {
+
+/// Where the ONIs sit on the optical layer.
+enum class OniPlacementMode {
+  kRing,     ///< evenly spaced along a ring waveguide (Fig. 11 cases)
+  kAllTiles, ///< one ONI per tile (the thermal sweeps of Fig. 9/10)
+};
+
+struct OnocDesignSpec {
+  // Architecture / packaging.
+  soc::SccPackageConfig package;
+  soc::OniLayoutParams oni_layout;
+
+  // Activity (Fig. 3 "MPSoC activity").
+  power::ActivityKind activity = power::ActivityKind::kUniform;
+  double chip_power = 25.0;        ///< [W]
+  std::uint64_t seed = 1;          ///< random-activity seed
+
+  // ONI placement.
+  OniPlacementMode placement = OniPlacementMode::kRing;
+  int ring_case_id = 1;            ///< Fig. 11 case (1, 2 or 3)
+
+  // Design knobs (Fig. 3 "VCSEL current", "MR heater").
+  double p_vcsel = 3.6e-3;         ///< dissipated power per active VCSEL [W]
+  double heater_ratio = 0.30;      ///< Pheater = ratio * PVCSEL (paper optimum)
+  std::size_t active_tx_per_waveguide = 4;  ///< paper worst case: all lasers on
+  bool p_driver_equals_p_vcsel = true;  ///< worst case assumed in Sec. V-B
+
+  // Devices.
+  TechnologyParameters tech;
+
+  // Network load for the SNR analysis.
+  std::size_t fanout = 3;          ///< destinations per ONI
+  std::size_t waveguides = 4;
+  std::size_t wdm_channels = 8;
+
+  // Thermal resolution (two-level scheme).
+  double global_cell_xy = 1e-3;    ///< coarse full-package cells
+  double oni_cell_xy = 5e-6;       ///< fine cells inside the ONI window
+  double oni_cell_z = 1e-6;        ///< fine z cells inside the optical layer
+  double window_margin = 150e-6;   ///< local window growth around the ONI
+
+  /// Heater power for the current knobs [W].
+  double p_heater() const { return heater_ratio * p_vcsel; }
+
+  /// Driver power per active laser [W].
+  double p_driver() const { return p_driver_equals_p_vcsel ? p_vcsel : 0.0; }
+};
+
+}  // namespace photherm::core

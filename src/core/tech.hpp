@@ -1,0 +1,28 @@
+/// \file tech.hpp
+/// \brief Technological parameters of the paper's Table 1 and the derived
+/// default device configuration used across benches and examples.
+#pragma once
+
+#include "noc/snr.hpp"
+#include "util/csv.hpp"
+
+namespace photherm::core {
+
+/// Table 1 of the paper.
+struct TechnologyParameters {
+  double wavelength = 1550e-9;          ///< wavelength range centre [m]
+  double bandwidth_3db = 1.55e-9;       ///< MR BW3dB [m]
+  double pd_sensitivity_dbm = -20.0;    ///< photodetector sensitivity
+  double thermal_sensitivity = 0.1e-9;  ///< [m/degC]
+  double propagation_loss_db_cm = 0.5;  ///< [dB/cm], ref [3]
+  double taper_coupling = 0.70;         ///< Fig. 2 assumption
+};
+
+/// Device-model configuration consistent with `tech` (VCSEL, MR,
+/// waveguide, taper, photodetector and the WDM channel plan).
+noc::SnrModelConfig make_snr_model(const TechnologyParameters& tech = {});
+
+/// Printable version of Table 1.
+Table technology_table(const TechnologyParameters& tech = {});
+
+}  // namespace photherm::core

@@ -1,0 +1,90 @@
+#include "geometry/block.hpp"
+
+#include "util/error.hpp"
+
+namespace photherm::geometry {
+
+std::string to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kPackage:
+      return "package";
+    case BlockKind::kLayer:
+      return "layer";
+    case BlockKind::kHeatSource:
+      return "heat_source";
+    case BlockKind::kVcsel:
+      return "vcsel";
+    case BlockKind::kMicroRing:
+      return "microring";
+    case BlockKind::kHeater:
+      return "heater";
+    case BlockKind::kPhotodetector:
+      return "photodetector";
+    case BlockKind::kTsv:
+      return "tsv";
+    case BlockKind::kWaveguide:
+      return "waveguide";
+    case BlockKind::kDriver:
+      return "driver";
+    case BlockKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+Scene::Scene(MaterialLibrary materials) : materials_(std::move(materials)) {}
+
+void Scene::add(Block block) {
+  PH_REQUIRE(block.power >= 0.0, "block power must be non-negative: " + block.name);
+  PH_REQUIRE(block.material.index < materials_.size(),
+             "block references an unknown material: " + block.name);
+  blocks_.push_back(std::move(block));
+}
+
+Box3 Scene::bounding_box() const {
+  PH_REQUIRE(!blocks_.empty(), "bounding box of an empty scene");
+  Box3 bb = blocks_.front().box;
+  for (const Block& b : blocks_) {
+    bb = bb.union_with(b.box);
+  }
+  return bb;
+}
+
+double Scene::total_power() const {
+  double total = 0.0;
+  for (const Block& b : blocks_) {
+    total += b.power;
+  }
+  return total;
+}
+
+MaterialId Scene::material_at(const Vec3& p, MaterialId background) const {
+  MaterialId result = background;
+  for (const Block& b : blocks_) {
+    if (b.box.contains(p)) {
+      result = b.material;
+    }
+  }
+  return result;
+}
+
+std::vector<const Block*> Scene::find(BlockKind kind, std::optional<int> group) const {
+  std::vector<const Block*> out;
+  for (const Block& b : blocks_) {
+    if (b.kind == kind && (!group || b.group == *group)) {
+      out.push_back(&b);
+    }
+  }
+  return out;
+}
+
+const Block& Scene::by_name(const std::string& name) const {
+  for (const Block& b : blocks_) {
+    if (b.name == name) {
+      return b;
+    }
+  }
+  throw SpecError("no block named: " + name);
+}
+
+}  // namespace photherm::geometry

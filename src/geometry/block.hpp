@@ -1,0 +1,87 @@
+/// \file block.hpp
+/// \brief Rectangular blocks: the atoms of the system specification. A
+/// Scene is an ordered list of blocks; later blocks override earlier ones
+/// where they overlap (paint order), which lets a die layer be declared as
+/// one slab and then have devices "carved" into it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/material.hpp"
+#include "geometry/vec.hpp"
+
+namespace photherm::geometry {
+
+/// Category tag used by the thermal post-processing to find regions
+/// (e.g. "average temperature of all MRs of ONI 3").
+enum class BlockKind {
+  kPackage,     ///< passive package structure (lid, substrate, sink, ...)
+  kLayer,       ///< a full die layer slab
+  kHeatSource,  ///< core/cache/router power block in the BEOL
+  kVcsel,       ///< laser active volume
+  kMicroRing,   ///< ring resonator footprint
+  kHeater,      ///< MR heater resistance
+  kPhotodetector,
+  kTsv,
+  kWaveguide,
+  kDriver,      ///< CMOS driver / receiver
+  kOther,
+};
+
+std::string to_string(BlockKind kind);
+
+/// One axis-aligned block with a material and an optional dissipated power.
+struct Block {
+  std::string name;
+  Box3 box;
+  MaterialId material;
+  double power = 0.0;     ///< total dissipated power [W], uniform density
+  BlockKind kind = BlockKind::kOther;
+  int group = -1;         ///< grouping id (e.g. ONI index); -1 = none
+
+  /// Power density [W/m^3].
+  double power_density() const { return power / box.volume(); }
+};
+
+/// Ordered collection of blocks. Paint-order semantics: the *last* block
+/// containing a point defines its material; powers are additive (each block
+/// with power injects its own power over its own volume).
+class Scene {
+ public:
+  explicit Scene(MaterialLibrary materials = MaterialLibrary());
+
+  const MaterialLibrary& materials() const { return materials_; }
+  MaterialLibrary& materials() { return materials_; }
+
+  /// Append a block (non-positive-volume boxes rejected by Box3 already;
+  /// negative power rejected here).
+  void add(Block block);
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  std::size_t size() const { return blocks_.size(); }
+  const Block& operator[](std::size_t i) const { return blocks_[i]; }
+
+  /// Bounding box of all blocks; throws when empty.
+  Box3 bounding_box() const;
+
+  /// Total injected power [W].
+  double total_power() const;
+
+  /// Material at a point (paint order); falls back to `background` when no
+  /// block contains the point.
+  MaterialId material_at(const Vec3& p, MaterialId background) const;
+
+  /// Blocks matching a kind (and optionally a group id).
+  std::vector<const Block*> find(BlockKind kind, std::optional<int> group = std::nullopt) const;
+
+  /// Block by exact name; throws SpecError when absent.
+  const Block& by_name(const std::string& name) const;
+
+ private:
+  MaterialLibrary materials_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace photherm::geometry

@@ -1,0 +1,38 @@
+#include "geometry/stack.hpp"
+
+#include "util/error.hpp"
+
+namespace photherm::geometry {
+
+LayerStackBuilder::LayerStackBuilder(double width, double depth, double z0)
+    : width_(width), depth_(depth), z0_(z0), z_(z0) {
+  PH_REQUIRE(width > 0.0 && depth > 0.0, "stack footprint must be positive");
+  interfaces_.push_back(z0);
+}
+
+LayerStackBuilder& LayerStackBuilder::add_layer(const LayerSpec& layer) {
+  PH_REQUIRE(layer.thickness > 0.0, "layer thickness must be positive: " + layer.name);
+  layers_.push_back(layer);
+  z_ += layer.thickness;
+  interfaces_.push_back(z_);
+  return *this;
+}
+
+std::pair<double, double> LayerStackBuilder::layer_range(std::size_t index) const {
+  PH_REQUIRE(index < layers_.size(), "layer index out of range");
+  return {interfaces_[index], interfaces_[index + 1]};
+}
+
+void LayerStackBuilder::emit(Scene& scene) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const LayerSpec& layer = layers_[i];
+    Block block;
+    block.name = layer.name;
+    block.box = Box3::make({0.0, 0.0, interfaces_[i]}, {width_, depth_, interfaces_[i + 1]});
+    block.material = scene.materials().id_of(layer.material);
+    block.kind = layer.kind;
+    scene.add(std::move(block));
+  }
+}
+
+}  // namespace photherm::geometry

@@ -1,0 +1,50 @@
+/// \file stack.hpp
+/// \brief Layer-stack builder: declares a vertical pile of full-area layers
+/// (the Fig. 7 package cross-section) and returns them as Scene blocks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/block.hpp"
+
+namespace photherm::geometry {
+
+/// One layer of a vertical stack.
+struct LayerSpec {
+  std::string name;
+  std::string material;   ///< material library name
+  double thickness;       ///< [m]
+  BlockKind kind = BlockKind::kLayer;
+};
+
+/// Builds full-area layers bottom-up starting at `z0` over the footprint
+/// [0, width] x [0, depth]. Returns the z coordinate of each layer interface
+/// through `interfaces` (size = layers + 1) when non-null.
+class LayerStackBuilder {
+ public:
+  LayerStackBuilder(double width, double depth, double z0 = 0.0);
+
+  LayerStackBuilder& add_layer(const LayerSpec& layer);
+
+  /// Current top z coordinate.
+  double top() const { return z_; }
+
+  /// z range [bottom, top] of the layer added at position `index`.
+  std::pair<double, double> layer_range(std::size_t index) const;
+
+  /// Emit all layers into `scene`.
+  void emit(Scene& scene) const;
+
+  std::size_t layer_count() const { return layers_.size(); }
+
+ private:
+  double width_;
+  double depth_;
+  double z0_;
+  double z_;
+  std::vector<LayerSpec> layers_;
+  std::vector<double> interfaces_;
+};
+
+}  // namespace photherm::geometry

@@ -1,0 +1,99 @@
+/// \file vec.hpp
+/// \brief 3-D vectors and axis-aligned boxes. The entire system
+/// specification (package, die, devices) is a set of axis-aligned
+/// rectangular blocks, matching the paper's Sec. IV-B modelling.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace photherm::geometry {
+
+enum class Axis : int { kX = 0, kY = 1, kZ = 2 };
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  double operator[](int axis) const {
+    switch (axis) {
+      case 0:
+        return x;
+      case 1:
+        return y;
+      default:
+        return z;
+    }
+  }
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  bool operator==(const Vec3& o) const = default;
+};
+
+inline double distance(const Vec3& a, const Vec3& b) {
+  const Vec3 d = a - b;
+  return std::sqrt(d.x * d.x + d.y * d.y + d.z * d.z);
+}
+
+/// Axis-aligned box, [lo, hi] per axis. Degenerate (zero-thickness) boxes
+/// are rejected on construction; use Box3::make for checked construction.
+struct Box3 {
+  Vec3 lo;
+  Vec3 hi;
+
+  static Box3 make(const Vec3& lo, const Vec3& hi) {
+    PH_REQUIRE(lo.x < hi.x && lo.y < hi.y && lo.z < hi.z,
+               "box must have strictly positive extent on every axis");
+    return Box3{lo, hi};
+  }
+
+  /// Box from a corner and positive sizes.
+  static Box3 from_size(const Vec3& corner, const Vec3& size) {
+    return make(corner, corner + size);
+  }
+
+  double extent(int axis) const { return hi[axis] - lo[axis]; }
+  double volume() const { return extent(0) * extent(1) * extent(2); }
+  Vec3 center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2, (lo.z + hi.z) / 2}; }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z && p.z <= hi.z;
+  }
+
+  /// Strict interior containment (used to detect block overlap).
+  bool contains_interior(const Vec3& p) const {
+    return p.x > lo.x && p.x < hi.x && p.y > lo.y && p.y < hi.y && p.z > lo.z && p.z < hi.z;
+  }
+
+  bool intersects(const Box3& o) const {
+    return lo.x < o.hi.x && o.lo.x < hi.x && lo.y < o.hi.y && o.lo.y < hi.y && lo.z < o.hi.z &&
+           o.lo.z < hi.z;
+  }
+
+  /// Intersection volume with another box (0 when disjoint).
+  double overlap_volume(const Box3& o) const {
+    const double dx = std::min(hi.x, o.hi.x) - std::max(lo.x, o.lo.x);
+    const double dy = std::min(hi.y, o.hi.y) - std::max(lo.y, o.lo.y);
+    const double dz = std::min(hi.z, o.hi.z) - std::max(lo.z, o.lo.z);
+    if (dx <= 0.0 || dy <= 0.0 || dz <= 0.0) {
+      return 0.0;
+    }
+    return dx * dy * dz;
+  }
+
+  /// Smallest box containing both.
+  Box3 union_with(const Box3& o) const {
+    return Box3{{std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y), std::min(lo.z, o.lo.z)},
+                {std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y), std::max(hi.z, o.hi.z)}};
+  }
+
+  bool operator==(const Box3& o) const = default;
+};
+
+}  // namespace photherm::geometry

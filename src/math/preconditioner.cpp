@@ -1,0 +1,152 @@
+#include "math/preconditioner.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace photherm::math {
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) : inv_diag_(a.diagonal()) {
+  for (double& d : inv_diag_) {
+    PH_REQUIRE(d != 0.0, "Jacobi preconditioner: zero diagonal entry");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(const Vector& r, Vector& z) const {
+  PH_REQUIRE(r.size() == inv_diag_.size(), "Jacobi apply: size mismatch");
+  z.resize(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    z[i] = r[i] * inv_diag_[i];
+  }
+}
+
+SsorPreconditioner::SsorPreconditioner(const CsrMatrix& a, double omega)
+    : a_(&a), omega_(omega), diag_(a.diagonal()) {
+  PH_REQUIRE(omega > 0.0 && omega < 2.0, "SSOR omega must be in (0, 2)");
+  for (double d : diag_) {
+    PH_REQUIRE(d != 0.0, "SSOR preconditioner: zero diagonal entry");
+  }
+}
+
+void SsorPreconditioner::apply(const Vector& r, Vector& z) const {
+  const std::size_t n = a_->rows();
+  PH_REQUIRE(r.size() == n, "SSOR apply: size mismatch");
+  const auto& row_ptr = a_->row_ptr();
+  const auto& col_idx = a_->col_idx();
+  const auto& values = a_->values();
+
+  // Forward sweep: (D/w + L) y = r
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = r[i];
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const std::size_t j = col_idx[k];
+      if (j < i) {
+        acc -= values[k] * y[j];
+      }
+    }
+    y[i] = acc * omega_ / diag_[i];
+  }
+  // Scale: y = D/w * y * (2-w)/w  -> combined below with backward sweep.
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] *= diag_[i] * (2.0 - omega_) / omega_;
+  }
+  // Backward sweep: (D/w + U) z = y
+  z.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = row_ptr[ii]; k < row_ptr[ii + 1]; ++k) {
+      const std::size_t j = col_idx[k];
+      if (j > ii) {
+        acc -= values[k] * z[j];
+      }
+    }
+    z[ii] = acc * omega_ / diag_[ii];
+  }
+}
+
+Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a)
+    : row_ptr_(a.row_ptr()), col_idx_(a.col_idx()), values_(a.values()), n_(a.rows()) {
+  PH_REQUIRE(a.rows() == a.cols(), "ILU(0) requires a square matrix");
+  diag_pos_.assign(n_, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (col_idx_[k] == i) {
+        diag_pos_[i] = k;
+      }
+    }
+    PH_REQUIRE(diag_pos_[i] != static_cast<std::size_t>(-1),
+               "ILU(0) requires a stored diagonal in every row");
+  }
+
+  // IKJ-variant ILU(0) factorisation restricted to the pattern of A.
+  std::vector<double> work_val(n_, 0.0);
+  std::vector<std::int8_t> work_set(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      work_val[col_idx_[k]] = values_[k];
+      work_set[col_idx_[k]] = 1;
+    }
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
+      if (j >= i) {
+        break;  // columns are sorted; only strictly-lower entries eliminate
+      }
+      const double pivot = values_[diag_pos_[j]];
+      PH_REQUIRE(std::abs(pivot) > 0.0, "ILU(0) zero pivot");
+      const double lij = work_val[j] / pivot;
+      work_val[j] = lij;
+      for (std::size_t kk = diag_pos_[j] + 1; kk < row_ptr_[j + 1]; ++kk) {
+        const std::size_t c = col_idx_[kk];
+        if (work_set[c]) {
+          work_val[c] -= lij * values_[kk];
+        }
+      }
+    }
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      values_[k] = work_val[col_idx_[k]];
+      work_val[col_idx_[k]] = 0.0;
+      work_set[col_idx_[k]] = 0;
+    }
+    PH_REQUIRE(std::abs(values_[diag_pos_[i]]) > 0.0, "ILU(0) produced a zero pivot");
+  }
+}
+
+void Ilu0Preconditioner::apply(const Vector& r, Vector& z) const {
+  PH_REQUIRE(r.size() == n_, "ILU(0) apply: size mismatch");
+  // Solve L y = r (unit lower triangular).
+  Vector y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = r[i];
+    for (std::size_t k = row_ptr_[i]; k < diag_pos_[i]; ++k) {
+      acc -= values_[k] * y[col_idx_[k]];
+    }
+    y[i] = acc;
+  }
+  // Solve U z = y.
+  z.resize(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = diag_pos_[ii] + 1; k < row_ptr_[ii + 1]; ++k) {
+      acc -= values_[k] * z[col_idx_[k]];
+    }
+    z[ii] = acc / values_[diag_pos_[ii]];
+  }
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind, const CsrMatrix& a) {
+  switch (kind) {
+    case PreconditionerKind::kIdentity:
+      return std::make_unique<IdentityPreconditioner>();
+    case PreconditionerKind::kJacobi:
+      return std::make_unique<JacobiPreconditioner>(a);
+    case PreconditionerKind::kSsor:
+      return std::make_unique<SsorPreconditioner>(a);
+    case PreconditionerKind::kIlu0:
+      return std::make_unique<Ilu0Preconditioner>(a);
+  }
+  throw Error("unknown preconditioner kind");
+}
+
+}  // namespace photherm::math

@@ -1,0 +1,69 @@
+/// \file preconditioner.hpp
+/// \brief Preconditioners for the Krylov solvers: Jacobi, symmetric
+/// Gauss-Seidel (SSOR with omega=1) and ILU(0). The FVM conduction matrix is
+/// an SPD M-matrix, so ILU(0) exists and is stable without pivoting.
+#pragma once
+
+#include <memory>
+
+#include "math/csr_matrix.hpp"
+
+namespace photherm::math {
+
+/// Applies z = M^{-1} r for some approximation M of A.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void apply(const Vector& r, Vector& z) const = 0;
+};
+
+/// Identity (no preconditioning).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(const Vector& r, Vector& z) const override { z = r; }
+};
+
+/// Diagonal scaling.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a);
+  void apply(const Vector& r, Vector& z) const override;
+
+ private:
+  Vector inv_diag_;
+};
+
+/// Symmetric successive over-relaxation used as a preconditioner:
+/// M = (D/w + L) (D/w)^{-1} (D/w + U) * w/(2-w). Keeps symmetry for CG.
+class SsorPreconditioner final : public Preconditioner {
+ public:
+  explicit SsorPreconditioner(const CsrMatrix& a, double omega = 1.0);
+  void apply(const Vector& r, Vector& z) const override;
+
+ private:
+  const CsrMatrix* a_;
+  double omega_;
+  Vector diag_;
+};
+
+/// Incomplete LU with zero fill-in on the sparsity pattern of A.
+class Ilu0Preconditioner final : public Preconditioner {
+ public:
+  explicit Ilu0Preconditioner(const CsrMatrix& a);
+  void apply(const Vector& r, Vector& z) const override;
+
+ private:
+  // Factor stored on A's pattern: strictly-lower entries hold L (unit
+  // diagonal implied), diagonal + strictly-upper hold U.
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+  std::vector<std::size_t> diag_pos_;
+  std::size_t n_ = 0;
+};
+
+enum class PreconditionerKind { kIdentity, kJacobi, kSsor, kIlu0 };
+
+std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind, const CsrMatrix& a);
+
+}  // namespace photherm::math

@@ -1,0 +1,200 @@
+#include "math/solvers.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace photherm::math {
+
+namespace {
+
+SolverResult finalize(const CsrMatrix& a, const Vector& b, const Vector& x, std::size_t iters,
+                      double norm_b, const SolverOptions& options, const char* name) {
+  Vector r = a.multiply(x);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = b[i] - r[i];
+  }
+  SolverResult result;
+  result.iterations = iters;
+  result.residual_norm = norm2(r);
+  result.relative_residual = norm_b > 0.0 ? result.residual_norm / norm_b : result.residual_norm;
+  result.converged = result.relative_residual <= options.rel_tolerance * 10.0;
+  if (!result.converged && options.throw_on_failure) {
+    std::ostringstream os;
+    os << name << " failed to converge after " << iters
+       << " iterations (relative residual = " << result.relative_residual << ")";
+    throw SolverError(os.str());
+  }
+  return result;
+}
+
+}  // namespace
+
+SolverResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
+                                const SolverOptions& options) {
+  PH_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix");
+  PH_REQUIRE(b.size() == a.rows(), "CG: rhs size mismatch");
+  const std::size_t n = a.rows();
+  x.resize(n, 0.0);
+
+  const auto precond = make_preconditioner(options.preconditioner, a);
+  const double norm_b = norm2(b);
+  if (norm_b == 0.0) {
+    x.assign(n, 0.0);
+    return {true, 0, 0.0, 0.0};
+  }
+
+  Vector r = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - r[i];
+  }
+  Vector z(n);
+  precond->apply(r, z);
+  Vector p = z;
+  Vector ap(n);
+  double rz = dot(r, z);
+
+  std::size_t it = 0;
+  for (; it < options.max_iterations; ++it) {
+    if (norm2(r) / norm_b <= options.rel_tolerance) {
+      break;
+    }
+    a.multiply(p, ap);
+    const double p_ap = dot(p, ap);
+    PH_REQUIRE(p_ap > 0.0, "CG breakdown: matrix is not positive definite");
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    precond->apply(r, z);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    xpby(z, beta, p);
+  }
+  return finalize(a, b, x, it, norm_b, options, "conjugate_gradient");
+}
+
+SolverResult bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
+                      const SolverOptions& options) {
+  PH_REQUIRE(a.rows() == a.cols(), "BiCGSTAB requires a square matrix");
+  PH_REQUIRE(b.size() == a.rows(), "BiCGSTAB: rhs size mismatch");
+  const std::size_t n = a.rows();
+  x.resize(n, 0.0);
+
+  const auto precond = make_preconditioner(options.preconditioner, a);
+  const double norm_b = norm2(b);
+  if (norm_b == 0.0) {
+    x.assign(n, 0.0);
+    return {true, 0, 0.0, 0.0};
+  }
+
+  Vector r = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - r[i];
+  }
+  const Vector r0 = r;
+  Vector p(n, 0.0), v(n, 0.0), s(n), t(n), y(n), z(n);
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+
+  std::size_t it = 0;
+  for (; it < options.max_iterations; ++it) {
+    if (norm2(r) / norm_b <= options.rel_tolerance) {
+      break;
+    }
+    const double rho_next = dot(r0, r);
+    if (std::abs(rho_next) < 1e-300) {
+      break;  // breakdown; finalize() reports the achieved residual
+    }
+    const double beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+    precond->apply(p, y);
+    a.multiply(y, v);
+    alpha = rho / dot(r0, v);
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = r[i] - alpha * v[i];
+    }
+    if (norm2(s) / norm_b <= options.rel_tolerance) {
+      axpy(alpha, y, x);
+      ++it;
+      break;
+    }
+    precond->apply(s, z);
+    a.multiply(z, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) {
+      axpy(alpha, y, x);
+      ++it;
+      break;
+    }
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * y[i] + omega * z[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    if (omega == 0.0) {
+      break;
+    }
+  }
+  return finalize(a, b, x, it, norm_b, options, "bicgstab");
+}
+
+SolverResult gauss_seidel(const CsrMatrix& a, const Vector& b, Vector& x,
+                          const SolverOptions& options) {
+  PH_REQUIRE(a.rows() == a.cols(), "Gauss-Seidel requires a square matrix");
+  PH_REQUIRE(b.size() == a.rows(), "Gauss-Seidel: rhs size mismatch");
+  const std::size_t n = a.rows();
+  x.resize(n, 0.0);
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const double norm_b = norm2(b);
+  if (norm_b == 0.0) {
+    x.assign(n, 0.0);
+    return {true, 0, 0.0, 0.0};
+  }
+
+  std::size_t it = 0;
+  for (; it < options.max_iterations; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double diag = 0.0;
+      double acc = b[i];
+      for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const std::size_t j = col_idx[k];
+        if (j == i) {
+          diag = values[k];
+        } else {
+          acc -= values[k] * x[j];
+        }
+      }
+      PH_REQUIRE(diag != 0.0, "Gauss-Seidel: zero diagonal");
+      x[i] = acc / diag;
+    }
+    // Check the true residual periodically (the per-sweep change is a much
+    // weaker criterion than the residual the caller asked for).
+    if (it % 10 == 9) {
+      Vector r = a.multiply(x);
+      for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - r[i];
+      }
+      if (norm2(r) / norm_b <= options.rel_tolerance) {
+        ++it;
+        break;
+      }
+    }
+  }
+  return finalize(a, b, x, it, norm_b, options, "gauss_seidel");
+}
+
+std::string to_string(const SolverResult& result) {
+  std::ostringstream os;
+  os << (result.converged ? "converged" : "NOT converged") << " in " << result.iterations
+     << " iterations, relative residual " << result.relative_residual;
+  return os.str();
+}
+
+}  // namespace photherm::math

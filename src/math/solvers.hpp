@@ -1,0 +1,44 @@
+/// \file solvers.hpp
+/// \brief Iterative linear solvers. Steady-state conduction is SPD, so CG is
+/// the workhorse; BiCGSTAB is provided for the (non-symmetric) transient
+/// operator variants and as a robustness fallback.
+#pragma once
+
+#include <string>
+
+#include "math/csr_matrix.hpp"
+#include "math/preconditioner.hpp"
+
+namespace photherm::math {
+
+struct SolverOptions {
+  double rel_tolerance = 1e-9;   ///< on ||r|| / ||b||
+  std::size_t max_iterations = 20000;
+  PreconditionerKind preconditioner = PreconditionerKind::kIlu0;
+  bool throw_on_failure = true;  ///< if false, return best-effort result
+};
+
+struct SolverResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;    ///< final ||b - A x||
+  double relative_residual = 0.0;
+};
+
+/// Preconditioned conjugate gradient. `x` is used as the initial guess and
+/// receives the solution.
+SolverResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
+                                const SolverOptions& options = {});
+
+/// Preconditioned BiCGSTAB for general (possibly non-symmetric) systems.
+SolverResult bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
+                      const SolverOptions& options = {});
+
+/// Plain Gauss-Seidel iteration (used as a smoother and in tests as an
+/// independent cross-check of CG results).
+SolverResult gauss_seidel(const CsrMatrix& a, const Vector& b, Vector& x,
+                          const SolverOptions& options = {});
+
+std::string to_string(const SolverResult& result);
+
+}  // namespace photherm::math

@@ -1,0 +1,39 @@
+#include "math/tridiagonal.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace photherm::math {
+
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      const std::vector<double>& rhs) {
+  const std::size_t n = diag.size();
+  PH_REQUIRE(n >= 1, "tridiagonal system must be non-empty");
+  PH_REQUIRE(lower.size() == n && upper.size() == n && rhs.size() == n,
+             "tridiagonal vectors must have equal length");
+
+  std::vector<double> c_prime(n, 0.0);
+  std::vector<double> d_prime(n, 0.0);
+
+  PH_REQUIRE(std::abs(diag[0]) > 0.0, "tridiagonal: zero pivot at row 0");
+  c_prime[0] = upper[0] / diag[0];
+  d_prime[0] = rhs[0] / diag[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double denom = diag[i] - lower[i] * c_prime[i - 1];
+    PH_REQUIRE(std::abs(denom) > 0.0, "tridiagonal: zero pivot during elimination");
+    c_prime[i] = upper[i] / denom;
+    d_prime[i] = (rhs[i] - lower[i] * d_prime[i - 1]) / denom;
+  }
+
+  std::vector<double> x(n);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t ii = n - 1; ii-- > 0;) {
+    x[ii] = d_prime[ii] - c_prime[ii] * x[ii + 1];
+  }
+  return x;
+}
+
+}  // namespace photherm::math

@@ -1,0 +1,20 @@
+/// \file tridiagonal.hpp
+/// \brief Thomas algorithm for tridiagonal systems. Used by the 1-D
+/// analytical validation fixtures (layer-stack solutions) and available for
+/// ADI-style transient stepping.
+#pragma once
+
+#include <vector>
+
+namespace photherm::math {
+
+/// Solve a tridiagonal system:
+///   lower[i] * x[i-1] + diag[i] * x[i] + upper[i] * x[i+1] = rhs[i]
+/// `lower[0]` and `upper[n-1]` are ignored. Throws photherm::Error when a
+/// pivot vanishes. Returns x.
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      const std::vector<double>& rhs);
+
+}  // namespace photherm::math

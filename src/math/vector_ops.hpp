@@ -1,0 +1,65 @@
+/// \file vector_ops.hpp
+/// \brief Free functions on std::vector<double> used by the Krylov solvers.
+/// Kept header-only so the compiler can inline the hot loops.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace photherm::math {
+
+using Vector = std::vector<double>;
+
+inline double dot(const Vector& a, const Vector& b) {
+  PH_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+inline double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+/// y += alpha * x
+inline void axpy(double alpha, const Vector& x, Vector& y) {
+  PH_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+/// y = x + beta * y
+inline void xpby(const Vector& x, double beta, Vector& y) {
+  PH_REQUIRE(x.size() == y.size(), "xpby: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] + beta * y[i];
+  }
+}
+
+inline void scale(double alpha, Vector& x) {
+  for (double& v : x) {
+    v *= alpha;
+  }
+}
+
+inline Vector subtract(const Vector& a, const Vector& b) {
+  PH_REQUIRE(a.size() == b.size(), "subtract: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] - b[i];
+  }
+  return out;
+}
+
+inline double max_abs(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+}  // namespace photherm::math

@@ -1,0 +1,60 @@
+/// \file axis.hpp
+/// \brief One axis of a tensor-product rectilinear grid: a strictly
+/// increasing tick vector. Ticks always include every block boundary so
+/// cells never straddle a material interface, then intervals are subdivided
+/// to honour per-region maximum cell sizes (5 um inside ONIs, 100 um over
+/// the die, 500 um over the package — paper Fig. 4).
+#pragma once
+
+#include <vector>
+
+namespace photherm::mesh {
+
+/// Constraint: intervals overlapping [lo, hi] must have width <= max_size.
+struct AxisRefinement {
+  double lo;
+  double hi;
+  double max_size;
+};
+
+/// Generate the tick vector for one axis.
+/// - `domain_lo/hi`: full extent;
+/// - `boundaries`: coordinates that must appear as ticks (block faces),
+///   values outside the domain are ignored, duplicates within `snap_tol`
+///   are merged;
+/// - `default_max_size`: cell-size bound where no refinement applies;
+/// - `refinements`: finer bounds over sub-ranges.
+std::vector<double> generate_ticks(double domain_lo, double domain_hi,
+                                   std::vector<double> boundaries, double default_max_size,
+                                   const std::vector<AxisRefinement>& refinements,
+                                   double snap_tol = 1e-9);
+
+/// Immutable axis grid.
+class AxisGrid {
+ public:
+  AxisGrid() = default;
+  explicit AxisGrid(std::vector<double> ticks);
+
+  std::size_t cell_count() const { return ticks_.size() - 1; }
+  double lo() const { return ticks_.front(); }
+  double hi() const { return ticks_.back(); }
+
+  double tick(std::size_t i) const { return ticks_[i]; }
+  const std::vector<double>& ticks() const { return ticks_; }
+
+  double cell_lo(std::size_t cell) const { return ticks_[cell]; }
+  double cell_hi(std::size_t cell) const { return ticks_[cell + 1]; }
+  double cell_width(std::size_t cell) const { return ticks_[cell + 1] - ticks_[cell]; }
+  double cell_center(std::size_t cell) const { return 0.5 * (ticks_[cell] + ticks_[cell + 1]); }
+
+  /// Cell index containing x (clamped to the domain).
+  std::size_t find_cell(double x) const;
+
+  /// Index range [first, last) of cells overlapping [lo, hi).
+  std::pair<std::size_t, std::size_t> cell_range(double lo, double hi) const;
+
+ private:
+  std::vector<double> ticks_;
+};
+
+}  // namespace photherm::mesh

@@ -1,0 +1,122 @@
+#include "noc/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace photherm::noc {
+
+std::string to_string(CrossbarTopology topology) {
+  switch (topology) {
+    case CrossbarTopology::kOrnoc:
+      return "ORNoC";
+    case CrossbarTopology::kMatrix:
+      return "Matrix";
+    case CrossbarTopology::kLambdaRouter:
+      return "lambda-router";
+    case CrossbarTopology::kSnake:
+      return "Snake";
+  }
+  return "?";
+}
+
+PathModel path_model(CrossbarTopology topology, std::size_t n, std::size_t src, std::size_t dst,
+                     const CrossbarLossParams& params) {
+  PH_REQUIRE(n >= 2, "crossbar needs at least two nodes");
+  PH_REQUIRE(src < n && dst < n && src != dst, "invalid path endpoints");
+  PathModel path;
+  const double pitch = params.node_pitch;
+  const auto ni = static_cast<long>(n);
+  const long s = static_cast<long>(src);
+  const long d = static_cast<long>(dst);
+
+  switch (topology) {
+    case CrossbarTopology::kOrnoc: {
+      // Bidirectional ring: take the shorter arc. Crossing-free; one MR
+      // pass-by per intermediate node (the co-located receiver of the same
+      // wavelength group), drop at the destination.
+      const long cw = (d - s + ni) % ni;
+      const long ccw = ni - cw;
+      const long hops = std::min(cw, ccw);
+      path.throughs =
+          static_cast<int>(std::max(0L, hops - 1)) * params.ornoc_rx_per_node;
+      path.crossings = 0;
+      path.length = static_cast<double>(hops) * pitch;
+      break;
+    }
+    case CrossbarTopology::kMatrix: {
+      // Row/column crossbar: travel the source row past `dst` columns
+      // (each with an MR and a crossing), drop, then down the destination
+      // column crossing the remaining rows.
+      const long row_hops = d + 1;
+      const long col_hops = ni - s;
+      path.throughs = static_cast<int>(d);
+      path.crossings = static_cast<int>(d + (ni - 1 - s));
+      path.length = static_cast<double>(row_hops + col_hops) * pitch;
+      break;
+    }
+    case CrossbarTopology::kLambdaRouter: {
+      // Staged switch fabric: every path traverses all N stages (balanced
+      // by construction), passing one add/drop MR pair per stage and about
+      // half the stage boundaries as crossings.
+      path.throughs = static_cast<int>(n - 1);
+      path.crossings = static_cast<int>(n / 2);
+      path.length = static_cast<double>(n) * pitch;
+      break;
+    }
+    case CrossbarTopology::kSnake: {
+      // Serpentine waveguide visiting nodes in order; a path covers the
+      // index distance with two MR pass-bys per intermediate node and a
+      // crossing every other hop (turnarounds).
+      const long hops = std::labs(d - s);
+      path.throughs = static_cast<int>(std::max(0L, 2 * (hops - 1)));
+      path.crossings = static_cast<int>(hops / 2);
+      path.length = 1.2 * static_cast<double>(hops) * pitch;
+      break;
+    }
+  }
+  return path;
+}
+
+double insertion_loss_db(const PathModel& path, const CrossbarLossParams& params) {
+  return params.drop_loss_db * path.drops + params.through_loss_db * path.throughs +
+         params.crossing_loss_db * path.crossings +
+         params.propagation_db_per_cm * (path.length / 1e-2);
+}
+
+namespace {
+template <typename Reduce>
+double reduce_over_pairs(CrossbarTopology topology, std::size_t n,
+                         const CrossbarLossParams& params, Reduce&& reduce, double init) {
+  double acc = init;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) {
+        continue;
+      }
+      acc = reduce(acc, insertion_loss_db(path_model(topology, n, s, d, params), params));
+      ++count;
+    }
+  }
+  PH_REQUIRE(count > 0, "no src/dst pairs");
+  return acc;
+}
+}  // namespace
+
+double worst_case_loss_db(CrossbarTopology topology, std::size_t n,
+                          const CrossbarLossParams& params) {
+  return reduce_over_pairs(
+      topology, n, params, [](double acc, double loss) { return std::max(acc, loss); }, 0.0);
+}
+
+double average_loss_db(CrossbarTopology topology, std::size_t n,
+                       const CrossbarLossParams& params) {
+  const double total = reduce_over_pairs(
+      topology, n, params, [](double acc, double loss) { return acc + loss; }, 0.0);
+  return total / static_cast<double>(n * (n - 1));
+}
+
+}  // namespace photherm::noc

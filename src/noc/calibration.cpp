@@ -1,0 +1,107 @@
+#include "noc/calibration.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace photherm::noc {
+
+RingTrim trim_for_misalignment(double misalignment, const CalibrationParams& params) {
+  PH_REQUIRE(params.blue_shift_uw_per_nm > 0.0 && params.red_shift_uw_per_nm > 0.0,
+             "tuning efficiencies must be positive");
+  RingTrim trim;
+  trim.misalignment = misalignment;
+  const double magnitude_nm = std::abs(misalignment) * 1e9;
+  if (misalignment == 0.0) {
+    return trim;  // perfectly aligned: no actuation at all
+  }
+  if (misalignment > 0.0 && std::abs(misalignment) <= params.blue_shift_range) {
+    // Ring sits red of the channel and within the voltage-tuning range:
+    // blue-shift electrically (cheaper per nm).
+    trim.uses_heater = false;
+    trim.power = params.blue_shift_uw_per_nm * 1e-6 * magnitude_nm;
+  } else {
+    // Either the ring is blue of the channel (only heating can red-shift
+    // it) or the error exceeds the voltage range.
+    trim.uses_heater = true;
+    trim.power = params.red_shift_uw_per_nm * 1e-6 * magnitude_nm;
+  }
+  return trim;
+}
+
+namespace {
+CalibrationPlan plan_from_misalignments(const std::vector<double>& misalignments,
+                                        const CalibrationParams& params) {
+  CalibrationPlan plan;
+  plan.trims.reserve(misalignments.size());
+  for (double m : misalignments) {
+    plan.trims.push_back(trim_for_misalignment(m, params));
+    plan.total_power += plan.trims.back().power;
+    if (plan.trims.back().uses_heater) {
+      ++plan.heater_count;
+    }
+  }
+  return plan;
+}
+}  // namespace
+
+CalibrationPlan per_ring_plan(const std::vector<double>& ring_temperature_errors,
+                              const CalibrationParams& params) {
+  PH_REQUIRE(!ring_temperature_errors.empty(), "no rings to calibrate");
+  std::vector<double> misalignments;
+  misalignments.reserve(ring_temperature_errors.size());
+  for (double dt : ring_temperature_errors) {
+    misalignments.push_back(dt * params.thermal_sensitivity);
+  }
+  return plan_from_misalignments(misalignments, params);
+}
+
+ClusteredPlan clustered_plan(const std::vector<double>& ring_temperature_errors,
+                             const std::vector<std::size_t>& cluster_of,
+                             const CalibrationParams& params) {
+  PH_REQUIRE(ring_temperature_errors.size() == cluster_of.size(),
+             "one cluster id per ring required");
+  PH_REQUIRE(!ring_temperature_errors.empty(), "no rings to calibrate");
+
+  std::map<std::size_t, std::pair<double, std::size_t>> accumulator;  // sum, count
+  for (std::size_t i = 0; i < cluster_of.size(); ++i) {
+    auto& [sum, count] = accumulator[cluster_of[i]];
+    sum += ring_temperature_errors[i];
+    ++count;
+  }
+
+  std::vector<double> cluster_misalignments;
+  cluster_misalignments.reserve(accumulator.size());
+  std::map<std::size_t, double> cluster_mean;
+  for (const auto& [cluster, acc] : accumulator) {
+    const double mean = acc.first / static_cast<double>(acc.second);
+    cluster_mean[cluster] = mean;
+    cluster_misalignments.push_back(mean * params.thermal_sensitivity);
+  }
+
+  ClusteredPlan result;
+  result.plan = plan_from_misalignments(cluster_misalignments, params);
+  for (std::size_t i = 0; i < cluster_of.size(); ++i) {
+    const double residual_dt =
+        std::abs(ring_temperature_errors[i] - cluster_mean[cluster_of[i]]);
+    result.worst_residual =
+        std::max(result.worst_residual, residual_dt * params.thermal_sensitivity);
+  }
+  return result;
+}
+
+double network_calibration_power(std::size_t ring_count, double typical_misalignment,
+                                 const CalibrationParams& params) {
+  PH_REQUIRE(ring_count > 0, "network needs at least one ring");
+  PH_REQUIRE(typical_misalignment >= 0.0, "misalignment magnitude must be non-negative");
+  // Half the rings land red of their channel (blue-tunable), half blue
+  // (must be heated): the expected per-ring cost is the mean of the two
+  // tuning efficiencies.
+  const double mean_uw_per_nm =
+      0.5 * (params.blue_shift_uw_per_nm + params.red_shift_uw_per_nm);
+  return static_cast<double>(ring_count) * mean_uw_per_nm * 1e-6 *
+         (typical_misalignment * 1e9);
+}
+
+}  // namespace photherm::noc

@@ -1,0 +1,102 @@
+/// \file topology.hpp
+/// \brief ORNoC ring topology and channel assignment (paper Sec. III-A,
+/// ref [2]). ORNoC is a ring: a communication from ONI s to ONI d occupies
+/// one wavelength on one waveguide along the arc s -> d; the same
+/// wavelength can be *reused* on non-overlapping arcs of the same
+/// waveguide, which is what makes the network arbitration-free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace photherm::noc {
+
+/// Traversal direction of a waveguide around the ring.
+enum class Direction { kClockwise, kCounterClockwise };
+
+/// Ring of N ONIs. Segment i is the waveguide arc from node i to node
+/// (i+1) % N in clockwise orientation.
+class RingTopology {
+ public:
+  /// Uniform ring: `count` nodes, `perimeter` total length.
+  static RingTopology uniform(std::size_t count, double perimeter);
+
+  /// Explicit segment lengths (size = node count).
+  explicit RingTopology(std::vector<double> segment_lengths);
+
+  std::size_t node_count() const { return segments_.size(); }
+  double perimeter() const;
+
+  /// Arc length from `src` to `dst` travelling in `dir`.
+  double arc_length(std::size_t src, std::size_t dst, Direction dir) const;
+
+  /// Number of hops (segments traversed) from `src` to `dst` in `dir`.
+  std::size_t hop_count(std::size_t src, std::size_t dst, Direction dir) const;
+
+  /// Ordered list of intermediate nodes strictly between src and dst in
+  /// `dir` (excluding both endpoints).
+  std::vector<std::size_t> intermediate_nodes(std::size_t src, std::size_t dst,
+                                              Direction dir) const;
+
+  /// Nodes visited from src to dst in `dir`, excluding src, including dst.
+  std::vector<std::size_t> path_nodes(std::size_t src, std::size_t dst, Direction dir) const;
+
+  /// Segment indices traversed from src to dst in `dir` (clockwise segment
+  /// ids regardless of direction).
+  std::vector<std::size_t> path_segments(std::size_t src, std::size_t dst, Direction dir) const;
+
+ private:
+  std::vector<double> segments_;
+};
+
+/// One point-to-point communication Csd with its channel assignment.
+struct Communication {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::size_t waveguide = 0;
+  std::size_t channel = 0;  ///< index into the ChannelPlan
+};
+
+/// ORNoC channel assignment: greedy first-fit of (waveguide, wavelength)
+/// pairs such that arcs sharing a waveguide and wavelength never overlap.
+/// Waveguides alternate direction (even = clockwise, odd = counter-clockwise)
+/// as in the Fig. 1-b layout.
+class OrnocAssigner {
+ public:
+  OrnocAssigner(std::size_t node_count, std::size_t waveguide_count, std::size_t channel_count);
+
+  static Direction direction_of(std::size_t waveguide) {
+    return waveguide % 2 == 0 ? Direction::kClockwise : Direction::kCounterClockwise;
+  }
+
+  /// Assign every (src, dst) request; throws SpecError when capacity is
+  /// exhausted. Returns the communications with waveguide/channel set.
+  std::vector<Communication> assign(const std::vector<std::pair<std::size_t, std::size_t>>& requests) const;
+
+  /// Verify an assignment is conflict-free (used by tests and as a
+  /// post-condition).
+  bool conflict_free(const std::vector<Communication>& comms) const;
+
+  /// Channel iteration order that maximises spectral distance between the
+  /// first channels handed out (greedy farthest-point on the index line),
+  /// so overlapping communications land far apart on the WDM grid.
+  static std::vector<std::size_t> spectral_spread_order(std::size_t channel_count);
+
+ private:
+  /// Segments covered by the arc src->dst on `waveguide` (clockwise ids).
+  std::vector<bool> arc_mask(std::size_t src, std::size_t dst, std::size_t waveguide) const;
+
+  std::size_t nodes_;
+  std::size_t waveguides_;
+  std::size_t channels_;
+};
+
+/// All-to-all-lite request pattern used by the case study: every node sends
+/// to `fanout` destinations spread around the ring (next node, quarter,
+/// half, three-quarter for fanout=4).
+std::vector<std::pair<std::size_t, std::size_t>> spread_requests(std::size_t node_count,
+                                                                 std::size_t fanout);
+
+}  // namespace photherm::noc

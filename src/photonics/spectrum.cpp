@@ -1,0 +1,43 @@
+#include "photonics/spectrum.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace photherm::photonics {
+
+ChannelPlan::ChannelPlan(const ChannelPlanParams& params) : params_(params) {
+  PH_REQUIRE(params.channel_count >= 1, "a channel plan needs at least one channel");
+  PH_REQUIRE(params.spacing > 0.0, "channel spacing must be positive");
+  PH_REQUIRE(params.center > 0.0, "channel plan centre must be positive");
+}
+
+double ChannelPlan::wavelength(std::size_t index) const {
+  PH_REQUIRE(index < params_.channel_count, "channel index out of range");
+  const double offset =
+      (static_cast<double>(index) - 0.5 * static_cast<double>(params_.channel_count - 1));
+  return params_.center + offset * params_.spacing;
+}
+
+std::vector<double> ChannelPlan::wavelengths() const {
+  std::vector<double> out(params_.channel_count);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = wavelength(i);
+  }
+  return out;
+}
+
+std::size_t ChannelPlan::nearest_channel(double lambda) const {
+  std::size_t best = 0;
+  double best_distance = std::abs(lambda - wavelength(0));
+  for (std::size_t i = 1; i < params_.channel_count; ++i) {
+    const double d = std::abs(lambda - wavelength(i));
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace photherm::photonics

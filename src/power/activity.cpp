@@ -1,0 +1,160 @@
+#include "power/activity.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace photherm::power {
+
+using geometry::Box3;
+using geometry::Vec3;
+
+TileGrid::TileGrid(Box3 area, std::size_t nx, std::size_t ny) : area_(area), nx_(nx), ny_(ny) {
+  PH_REQUIRE(nx >= 1 && ny >= 1, "tile grid must have at least one tile");
+}
+
+Box3 TileGrid::tile_box(std::size_t i, std::size_t j) const {
+  PH_REQUIRE(i < nx_ && j < ny_, "tile index out of range");
+  const double w = area_.extent(0) / static_cast<double>(nx_);
+  const double d = area_.extent(1) / static_cast<double>(ny_);
+  return Box3::make({area_.lo.x + w * static_cast<double>(i), area_.lo.y + d * static_cast<double>(j), area_.lo.z},
+                    {area_.lo.x + w * static_cast<double>(i + 1),
+                     area_.lo.y + d * static_cast<double>(j + 1), area_.hi.z});
+}
+
+std::string to_string(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kUniform:
+      return "uniform";
+    case ActivityKind::kDiagonal:
+      return "diagonal";
+    case ActivityKind::kRandom:
+      return "random";
+    case ActivityKind::kHotspot:
+      return "hotspot";
+    case ActivityKind::kCheckerboard:
+      return "checkerboard";
+  }
+  return "?";
+}
+
+std::vector<double> generate_activity(const TileGrid& grid, ActivityKind kind,
+                                      double total_power, Rng& rng) {
+  PH_REQUIRE(total_power >= 0.0, "total power must be non-negative");
+  const std::size_t n = grid.tile_count();
+  std::vector<double> weights(n, 1.0);
+
+  switch (kind) {
+    case ActivityKind::kUniform:
+      break;
+    case ActivityKind::kDiagonal: {
+      // Paper Sec. V-C: upper-left and bottom-right parts dissipate 8 W
+      // each, upper-right and bottom-left 4 W each -> 2:1 quadrant weights.
+      for (std::size_t j = 0; j < grid.ny(); ++j) {
+        for (std::size_t i = 0; i < grid.nx(); ++i) {
+          const bool right = i >= grid.nx() / 2;
+          const bool top = j >= grid.ny() / 2;
+          const bool heavy = (top && !right) || (!top && right);
+          weights[grid.tile_index(i, j)] = heavy ? 2.0 : 1.0;
+        }
+      }
+      break;
+    }
+    case ActivityKind::kRandom: {
+      for (double& w : weights) {
+        w = rng.uniform(0.1, 1.0);
+      }
+      break;
+    }
+    case ActivityKind::kHotspot: {
+      const Vec3 c = grid.area().center();
+      const double sigma = 0.2 * std::max(grid.area().extent(0), grid.area().extent(1));
+      for (std::size_t j = 0; j < grid.ny(); ++j) {
+        for (std::size_t i = 0; i < grid.nx(); ++i) {
+          const Vec3 tc = grid.tile_box(i, j).center();
+          const double dx = tc.x - c.x;
+          const double dy = tc.y - c.y;
+          weights[grid.tile_index(i, j)] =
+              0.15 + std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+        }
+      }
+      break;
+    }
+    case ActivityKind::kCheckerboard: {
+      for (std::size_t j = 0; j < grid.ny(); ++j) {
+        for (std::size_t i = 0; i < grid.nx(); ++i) {
+          weights[grid.tile_index(i, j)] = ((i + j) % 2 == 0) ? 2.0 : 1.0;
+        }
+      }
+      break;
+    }
+  }
+
+  double sum = 0.0;
+  for (double w : weights) {
+    sum += w;
+  }
+  std::vector<double> powers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    powers[i] = total_power * weights[i] / sum;
+  }
+  return powers;
+}
+
+std::vector<double> generate_activity(const TileGrid& grid, ActivityKind kind,
+                                      double total_power) {
+  PH_REQUIRE(kind != ActivityKind::kRandom,
+             "random activity needs an Rng; use the three-argument overload");
+  Rng dummy;
+  return generate_activity(grid, kind, total_power, dummy);
+}
+
+void add_heat_sources(geometry::Scene& scene, const TileGrid& grid,
+                      const std::vector<double>& tile_power, double z_lo, double z_hi,
+                      const std::string& material, const std::string& prefix) {
+  PH_REQUIRE(tile_power.size() == grid.tile_count(), "tile power vector size mismatch");
+  PH_REQUIRE(z_hi > z_lo, "heat source z range must be non-empty");
+  const geometry::MaterialId mat = scene.materials().id_of(material);
+  for (std::size_t j = 0; j < grid.ny(); ++j) {
+    for (std::size_t i = 0; i < grid.nx(); ++i) {
+      const Box3 fp = grid.tile_box(i, j);
+      geometry::Block block;
+      block.name = prefix + "_" + std::to_string(i) + "_" + std::to_string(j);
+      block.box = Box3::make({fp.lo.x, fp.lo.y, z_lo}, {fp.hi.x, fp.hi.y, z_hi});
+      block.material = mat;
+      block.power = tile_power[grid.tile_index(i, j)];
+      block.kind = geometry::BlockKind::kHeatSource;
+      block.group = static_cast<int>(grid.tile_index(i, j));
+      scene.add(std::move(block));
+    }
+  }
+}
+
+ActivityTrace::ActivityTrace(std::vector<ActivityPhase> phases) : phases_(std::move(phases)) {
+  PH_REQUIRE(!phases_.empty(), "an activity trace needs at least one phase");
+  for (const ActivityPhase& p : phases_) {
+    PH_REQUIRE(p.duration > 0.0, "phase duration must be positive");
+    PH_REQUIRE(p.scale >= 0.0, "phase scale must be non-negative");
+  }
+}
+
+double ActivityTrace::scale_at(double t) const {
+  double elapsed = 0.0;
+  for (const ActivityPhase& p : phases_) {
+    elapsed += p.duration;
+    if (t < elapsed) {
+      return p.scale;
+    }
+  }
+  return phases_.back().scale;
+}
+
+double ActivityTrace::total_duration() const {
+  double total = 0.0;
+  for (const ActivityPhase& p : phases_) {
+    total += p.duration;
+  }
+  return total;
+}
+
+}  // namespace photherm::power

@@ -1,0 +1,87 @@
+/// \file activity.hpp
+/// \brief Chip activity scenarios (paper Sec. IV-A "MPSoC activity":
+/// uniform, diagonal, random, benchmark). An activity distributes a total
+/// chip power over a grid of tiles; the tiles become heat-source blocks in
+/// the BEOL layer of the thermal model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/block.hpp"
+#include "util/rng.hpp"
+
+namespace photherm::power {
+
+/// Rectangular grid of processor tiles over the die footprint.
+class TileGrid {
+ public:
+  /// `area` is the 2-D die footprint (z range ignored); nx * ny tiles.
+  TileGrid(geometry::Box3 area, std::size_t nx, std::size_t ny);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t tile_count() const { return nx_ * ny_; }
+
+  /// Tile (i, j) footprint; i in [0, nx), j in [0, ny). j = 0 is the
+  /// bottom row (minimum y).
+  geometry::Box3 tile_box(std::size_t i, std::size_t j) const;
+
+  std::size_t tile_index(std::size_t i, std::size_t j) const { return j * nx_ + i; }
+
+  const geometry::Box3& area() const { return area_; }
+
+ private:
+  geometry::Box3 area_;
+  std::size_t nx_;
+  std::size_t ny_;
+};
+
+enum class ActivityKind {
+  kUniform,       ///< every tile dissipates the same power
+  kDiagonal,      ///< paper Sec. V-C: UL+BR quadrants 2x the UR+BL ones
+  kRandom,        ///< random per-tile weights (seeded)
+  kHotspot,       ///< Gaussian bump centred on the die
+  kCheckerboard,  ///< alternating high/low tiles
+};
+
+std::string to_string(ActivityKind kind);
+
+/// Per-tile power [W] for a scenario; sums to `total_power`.
+/// `rng` is only used by kRandom.
+std::vector<double> generate_activity(const TileGrid& grid, ActivityKind kind,
+                                      double total_power, Rng& rng);
+
+/// Deterministic overload for scenarios that need no randomness; throws
+/// SpecError for kRandom.
+std::vector<double> generate_activity(const TileGrid& grid, ActivityKind kind,
+                                      double total_power);
+
+/// Emit the tiles as heat-source blocks spanning [z_lo, z_hi] into `scene`.
+/// Blocks are named "<prefix>_i_j", kind kHeatSource, material `material`.
+void add_heat_sources(geometry::Scene& scene, const TileGrid& grid,
+                      const std::vector<double>& tile_power, double z_lo, double z_hi,
+                      const std::string& material, const std::string& prefix = "tile");
+
+/// A step-wise power schedule for transient studies: scale factors applied
+/// to a base activity over time.
+struct ActivityPhase {
+  double duration;  ///< [s]
+  double scale;     ///< multiplier on the base power map
+};
+
+class ActivityTrace {
+ public:
+  explicit ActivityTrace(std::vector<ActivityPhase> phases);
+
+  /// Power scale at absolute time `t` (clamps to the last phase).
+  double scale_at(double t) const;
+
+  double total_duration() const;
+  const std::vector<ActivityPhase>& phases() const { return phases_; }
+
+ private:
+  std::vector<ActivityPhase> phases_;
+};
+
+}  // namespace photherm::power

@@ -1,0 +1,165 @@
+#include "soc/oni.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace photherm::soc {
+
+using geometry::Block;
+using geometry::BlockKind;
+using geometry::Box3;
+using geometry::Scene;
+using geometry::Vec3;
+
+OniBuilder::OniBuilder(const OniLayoutParams& params) : params_(params) {
+  PH_REQUIRE(params.waveguide_count >= 1, "an ONI needs at least one waveguide");
+  PH_REQUIRE(params.tx_per_waveguide >= 1 && params.rx_per_waveguide >= 1,
+             "an ONI needs transmitters and receivers");
+  PH_REQUIRE(params.slot_pitch_x >= params.vcsel_x && params.slot_pitch_x >= params.mr_diameter,
+             "slot pitch too small for the devices");
+  PH_REQUIRE(params.row_pitch_y >= params.vcsel_y,
+             "row pitch too small for the VCSEL footprint");
+}
+
+double OniBuilder::footprint_x() const {
+  return static_cast<double>(params_.tx_per_waveguide + params_.rx_per_waveguide) *
+         params_.slot_pitch_x;
+}
+
+double OniBuilder::footprint_y() const {
+  return static_cast<double>(params_.waveguide_count) * params_.row_pitch_y;
+}
+
+OniInstance OniBuilder::emit(Scene& scene, const Vec3& origin, int oni_index,
+                             const OniZRanges& z, const OniPowerConfig& power) const {
+  PH_REQUIRE(z.beol_hi > z.beol_lo && z.optical_hi > z.optical_lo,
+             "ONI z ranges must be non-empty");
+  PH_REQUIRE(z.optical_hi - z.optical_lo > params_.heater_thickness,
+             "optical layer too thin for the heater film");
+  PH_REQUIRE(power.active_tx_per_waveguide <= params_.tx_per_waveguide,
+             "more active lasers than transmitter sites");
+
+  const auto& lib = scene.materials();
+  // The VCSEL mesa is mostly InP (k ~ 68 W/mK); the thin InGaAsP active
+  // region is not resolved separately at 5 um cells.
+  const auto mat_iiiv = lib.id_of("inp");
+  const auto mat_si = lib.id_of("silicon");
+  const auto mat_cu = lib.id_of("copper");
+
+  const std::string tag = "oni" + std::to_string(oni_index);
+  const std::size_t slots = params_.tx_per_waveguide + params_.rx_per_waveguide;
+
+  for (std::size_t row = 0; row < params_.waveguide_count; ++row) {
+    const double row_y = origin.y + static_cast<double>(row) * params_.row_pitch_y;
+    const double row_cy = row_y + 0.5 * params_.row_pitch_y;
+    std::size_t tx_seen = 0;
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      const double slot_x = origin.x + static_cast<double>(slot) * params_.slot_pitch_x;
+      const double slot_cx = slot_x + 0.5 * params_.slot_pitch_x;
+      // Chessboard: odd rows start with a receiver instead of a transmitter.
+      const bool is_tx = ((slot + row) % 2 == 0);
+      const std::string suffix = "_w" + std::to_string(row) + "_s" + std::to_string(slot);
+
+      if (is_tx) {
+        const bool active = (tx_seen < power.active_tx_per_waveguide);
+        ++tx_seen;
+        // VCSEL: III-V mesa through the optical layer.
+        Block vcsel;
+        vcsel.name = tag + "_vcsel" + suffix;
+        vcsel.box = Box3::make({slot_cx - params_.vcsel_x / 2, row_cy - params_.vcsel_y / 2,
+                                z.optical_lo},
+                               {slot_cx + params_.vcsel_x / 2, row_cy + params_.vcsel_y / 2,
+                                z.optical_hi});
+        vcsel.material = mat_iiiv;
+        vcsel.power = active ? power.p_vcsel : 0.0;
+        vcsel.kind = BlockKind::kVcsel;
+        vcsel.group = oni_index;
+        scene.add(std::move(vcsel));
+
+        // TSV feeding the mesa from the CMOS layer. Skipped quietly when the
+        // bonded interfaces are coincident (degenerate gap).
+        if (z.optical_lo > z.beol_hi) {
+          Block tsv;
+          tsv.name = tag + "_tsv" + suffix;
+          tsv.box = Box3::make(
+              {slot_cx - params_.tsv_diameter / 2, row_cy - params_.tsv_diameter / 2, z.beol_hi},
+              {slot_cx + params_.tsv_diameter / 2, row_cy + params_.tsv_diameter / 2,
+               z.optical_lo});
+          tsv.material = mat_cu;
+          tsv.kind = BlockKind::kTsv;
+          tsv.group = oni_index;
+          scene.add(std::move(tsv));
+        }
+
+        // CMOS driver in the BEOL below the laser.
+        Block driver;
+        driver.name = tag + "_driver" + suffix;
+        driver.box = Box3::make(
+            {slot_cx - params_.driver_x / 2, row_cy - params_.driver_y / 2, z.beol_lo},
+            {slot_cx + params_.driver_x / 2, row_cy + params_.driver_y / 2, z.beol_hi});
+        driver.material = mat_cu;
+        driver.power = active ? power.p_driver : 0.0;
+        driver.kind = BlockKind::kDriver;
+        driver.group = oni_index;
+        scene.add(std::move(driver));
+      } else {
+        // Microring in the silicon photonic film (lower part of the layer).
+        const double ring_top = z.optical_hi - params_.heater_thickness;
+        Block ring;
+        ring.name = tag + "_mr" + suffix;
+        ring.box = Box3::make(
+            {slot_cx - params_.mr_diameter / 2, row_cy - params_.mr_diameter / 2, z.optical_lo},
+            {slot_cx + params_.mr_diameter / 2, row_cy + params_.mr_diameter / 2, ring_top});
+        ring.material = mat_si;
+        ring.kind = BlockKind::kMicroRing;
+        ring.group = oni_index;
+        scene.add(std::move(ring));
+
+        // Heater film on top of the ring.
+        Block heater;
+        heater.name = tag + "_heater" + suffix;
+        heater.box = Box3::make(
+            {slot_cx - params_.mr_diameter / 2, row_cy - params_.mr_diameter / 2, ring_top},
+            {slot_cx + params_.mr_diameter / 2, row_cy + params_.mr_diameter / 2, z.optical_hi});
+        heater.material = mat_cu;
+        heater.power = power.p_heater;
+        heater.kind = BlockKind::kHeater;
+        heater.group = oni_index;
+        scene.add(std::move(heater));
+
+        // Photodetector beside the ring.
+        Block pd;
+        pd.name = tag + "_pd" + suffix;
+        const double pd_cx = slot_cx + params_.mr_diameter / 2 + params_.pd_x;
+        pd.box = Box3::make({pd_cx - params_.pd_x / 2, row_cy - params_.pd_y / 2, z.optical_lo},
+                            {pd_cx + params_.pd_x / 2, row_cy + params_.pd_y / 2, ring_top});
+        pd.material = mat_si;
+        pd.kind = BlockKind::kPhotodetector;
+        pd.group = oni_index;
+        scene.add(std::move(pd));
+      }
+    }
+
+    if (params_.emit_waveguide_strips) {
+      Block wg;
+      wg.name = tag + "_wg" + std::to_string(row);
+      wg.box = Box3::make({origin.x, row_cy - params_.waveguide_width / 2, z.optical_lo},
+                          {origin.x + footprint_x(), row_cy + params_.waveguide_width / 2,
+                           z.optical_lo + 0.3e-6});
+      wg.material = mat_si;
+      wg.kind = BlockKind::kWaveguide;
+      wg.group = oni_index;
+      scene.add(std::move(wg));
+    }
+  }
+
+  OniInstance instance;
+  instance.index = oni_index;
+  instance.footprint = Box3::make({origin.x, origin.y, z.optical_lo},
+                                  {origin.x + footprint_x(), origin.y + footprint_y(),
+                                   z.optical_hi});
+  return instance;
+}
+
+}  // namespace photherm::soc

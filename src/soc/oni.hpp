@@ -1,0 +1,78 @@
+/// \file oni.hpp
+/// \brief Optical Network Interface (ONI) layout generator — the
+/// chessboard arrangement of Fig. 1-b: 4 waveguides, each with 4
+/// transmitters (VCSELs) and 4 receivers (MR + heater + photodetector)
+/// alternating, so that laser heat is spread as evenly as possible across
+/// the interface.
+#pragma once
+
+#include <vector>
+
+#include "geometry/block.hpp"
+
+namespace photherm::soc {
+
+struct OniLayoutParams {
+  std::size_t waveguide_count = 4;      ///< rows (Fig. 1-b)
+  std::size_t tx_per_waveguide = 4;     ///< VCSELs per row
+  std::size_t rx_per_waveguide = 4;     ///< MR/PD sites per row
+  double slot_pitch_x = 40e-6;          ///< horizontal device pitch
+  double row_pitch_y = 40e-6;           ///< waveguide row pitch
+
+  // Device footprints (Fig. 1-c).
+  double vcsel_x = 15e-6, vcsel_y = 30e-6;
+  double mr_diameter = 10e-6;
+  double pd_x = 1.5e-6, pd_y = 15e-6;
+  double heater_thickness = 0.5e-6;     ///< metal film above the MR
+  /// Effective metal plug under each VCSEL: the two 5 um TSVs plus the
+  /// bottom contact metallisation, homogenised into one square via.
+  double tsv_diameter = 10e-6;
+  double driver_x = 10e-6, driver_y = 10e-6;
+
+  bool emit_waveguide_strips = false;   ///< geometric detail, thermally inert
+  double waveguide_width = 2e-6;
+};
+
+/// Per-device electrical/thermal power assignment for one ONI.
+struct OniPowerConfig {
+  double p_vcsel = 0.0;        ///< dissipated per active VCSEL [W]
+  double p_driver = 0.0;       ///< dissipated per active CMOS driver [W]
+  double p_heater = 0.0;       ///< per MR heater [W]
+  std::size_t active_tx_per_waveguide = 4;  ///< lasers driven per row
+};
+
+/// Vertical extents the ONI devices are emitted into.
+struct OniZRanges {
+  double beol_lo, beol_hi;        ///< CMOS driver layer
+  double optical_lo, optical_hi;  ///< optical device layer
+};
+
+/// Generated ONI: footprint plus the block-index bookkeeping needed by the
+/// thermal post-processing (device regions are recovered from the Scene via
+/// BlockKind + group id).
+struct OniInstance {
+  int index = 0;
+  geometry::Box3 footprint;  ///< optical-layer region of the interface
+};
+
+class OniBuilder {
+ public:
+  explicit OniBuilder(const OniLayoutParams& params);
+
+  const OniLayoutParams& params() const { return params_; }
+
+  /// Lateral size of the interface (x: slots, y: rows).
+  double footprint_x() const;
+  double footprint_y() const;
+
+  /// Emit all device blocks of one ONI into `scene`. `origin` is the
+  /// lower-left corner of the interface on the optical layer. All blocks
+  /// are tagged group = oni_index. Returns the instance descriptor.
+  OniInstance emit(geometry::Scene& scene, const geometry::Vec3& origin, int oni_index,
+                   const OniZRanges& z, const OniPowerConfig& power) const;
+
+ private:
+  OniLayoutParams params_;
+};
+
+}  // namespace photherm::soc

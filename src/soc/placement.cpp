@@ -1,0 +1,94 @@
+#include "soc/placement.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace photherm::soc {
+
+using geometry::Vec3;
+
+namespace {
+
+/// Point at arc-length `s` along the rectangle perimeter (counter-clockwise
+/// from the middle of the bottom edge). Rectangle spans [x0,x1] x [y0,y1].
+Vec3 point_on_rectangle(double x0, double y0, double x1, double y1, double s) {
+  const double w = x1 - x0;
+  const double h = y1 - y0;
+  const double perimeter = 2.0 * (w + h);
+  s = std::fmod(s, perimeter);
+  if (s < 0) {
+    s += perimeter;
+  }
+  // Start at bottom-middle, heading towards +x.
+  double pos = s + w / 2.0;  // distance from the bottom-left corner going ccw
+  pos = std::fmod(pos, perimeter);
+  if (pos < w) {
+    return {x0 + pos, y0, 0.0};
+  }
+  pos -= w;
+  if (pos < h) {
+    return {x1, y0 + pos, 0.0};
+  }
+  pos -= h;
+  if (pos < w) {
+    return {x1 - pos, y1, 0.0};
+  }
+  pos -= w;
+  return {x0, y1 - pos, 0.0};
+}
+
+}  // namespace
+
+std::vector<RingSite> ring_placement(const Vec3& center, double width, double height,
+                                     std::size_t count) {
+  PH_REQUIRE(width > 0.0 && height > 0.0, "ring rectangle must be non-degenerate");
+  PH_REQUIRE(count >= 2, "a ring needs at least two ONIs");
+  const double x0 = center.x - width / 2.0;
+  const double x1 = center.x + width / 2.0;
+  const double y0 = center.y - height / 2.0;
+  const double y1 = center.y + height / 2.0;
+  const double perimeter = 2.0 * (width + height);
+  const double step = perimeter / static_cast<double>(count);
+
+  std::vector<RingSite> sites;
+  sites.reserve(count);
+  // Half-step phase: keeps sites away from the edge midpoints, so they
+  // sample the die quadrants asymmetrically (otherwise a 4-ONI ring is
+  // mirror-symmetric under the diagonal activity and all ONIs see the same
+  // temperature).
+  const double phase = step / 2.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    RingSite site;
+    site.center = point_on_rectangle(x0, y0, x1, y1, phase + step * static_cast<double>(i));
+    site.arc_to_next = step;
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+RingCase ring_case(int id, double die_x, double die_y) {
+  PH_REQUIRE(id >= 1 && id <= 3, "ring case id must be 1, 2 or 3");
+  const double perimeters[3] = {18e-3, 32.4e-3, 46.8e-3};
+  const std::size_t counts[3] = {4, 8, 12};
+  const double perimeter = perimeters[id - 1];
+  const std::size_t count = counts[id - 1];
+
+  // 3:2 aspect: perimeter = 2 (w + h), w = 1.5 h -> h = perimeter / 5.
+  const double h = perimeter / 5.0;
+  const double w = 1.5 * h;
+  PH_REQUIRE(w < die_x && h < die_y, "ring rectangle exceeds the die footprint");
+
+  RingCase rc;
+  rc.id = id;
+  rc.perimeter = perimeter;
+  rc.oni_count = count;
+  rc.sites = ring_placement({die_x / 2.0, die_y / 2.0, 0.0}, w, h, count);
+  return rc;
+}
+
+std::vector<RingCase> all_ring_cases(double die_x, double die_y) {
+  return {ring_case(1, die_x, die_y), ring_case(2, die_x, die_y), ring_case(3, die_x, die_y)};
+}
+
+}  // namespace photherm::soc

@@ -1,0 +1,43 @@
+/// \file placement.hpp
+/// \brief ONI placement helpers for the case study (Fig. 11): ONIs evenly
+/// spaced along a rectangular ring waveguide of a prescribed perimeter, and
+/// the grid placement (one ONI per tile) used by the thermal sweeps.
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace photherm::soc {
+
+/// One placed ONI on a ring: centre position and the waveguide arc length
+/// from this ONI to the next (following the ring direction).
+struct RingSite {
+  geometry::Vec3 center;
+  double arc_to_next;  ///< [m]
+};
+
+/// Evenly distribute `count` sites along the perimeter of the rectangle
+/// centred at `center` with lateral size `width` x `height`. Traversal is
+/// counter-clockwise starting at the middle of the bottom edge. The sum of
+/// arc lengths equals the rectangle perimeter.
+std::vector<RingSite> ring_placement(const geometry::Vec3& center, double width, double height,
+                                     std::size_t count);
+
+/// The paper's three ring cases (Fig. 11) on a given die footprint:
+/// case 1 = 18 mm perimeter with 4 ONIs, case 2 = 32.4 mm with 8,
+/// case 3 = 46.8 mm with 12. Rectangles use a 3:2 aspect ratio centred on
+/// the die.
+struct RingCase {
+  int id;
+  double perimeter;       ///< [m]
+  std::size_t oni_count;
+  std::vector<RingSite> sites;
+};
+
+RingCase ring_case(int id, double die_x, double die_y);
+
+/// All three cases.
+std::vector<RingCase> all_ring_cases(double die_x, double die_y);
+
+}  // namespace photherm::soc

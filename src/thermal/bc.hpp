@@ -1,0 +1,76 @@
+/// \file bc.hpp
+/// \brief Boundary conditions of the thermal problem. The package model
+/// uses convection on the heat-sink face (effective h lumps the sink fins
+/// and fan), mild convection to the board on the bottom, adiabatic sides.
+/// The two-level solver imposes spatially varying Dirichlet shells sampled
+/// from the coarse global solution.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "geometry/vec.hpp"
+
+namespace photherm::thermal {
+
+enum class BcKind {
+  kAdiabatic,       ///< no heat flux through the face
+  kConvection,      ///< Robin: q = h (T_surface - T_ambient)
+  kDirichlet,       ///< fixed uniform wall temperature at the face
+  kDirichletField,  ///< fixed wall temperature sampled per face centre
+};
+
+/// Boundary condition on one domain face.
+struct FaceBc {
+  BcKind kind = BcKind::kAdiabatic;
+  double h = 0.0;          ///< heat transfer coefficient [W/(m^2 K)]
+  double t_ambient = 0.0;  ///< [deg C] for convection
+  double t_wall = 0.0;     ///< [deg C] for uniform Dirichlet
+  std::function<double(const geometry::Vec3&)> wall_field;  ///< for kDirichletField
+
+  static FaceBc adiabatic() { return {}; }
+  static FaceBc convection(double h, double t_ambient) {
+    FaceBc bc;
+    bc.kind = BcKind::kConvection;
+    bc.h = h;
+    bc.t_ambient = t_ambient;
+    return bc;
+  }
+  static FaceBc dirichlet(double t_wall) {
+    FaceBc bc;
+    bc.kind = BcKind::kDirichlet;
+    bc.t_wall = t_wall;
+    return bc;
+  }
+  static FaceBc dirichlet_field(std::function<double(const geometry::Vec3&)> field) {
+    FaceBc bc;
+    bc.kind = BcKind::kDirichletField;
+    bc.wall_field = std::move(field);
+    return bc;
+  }
+};
+
+/// Domain faces in order: x-, x+, y-, y+, z-, z+.
+enum class Face : int { kXMin = 0, kXMax = 1, kYMin = 2, kYMax = 3, kZMin = 4, kZMax = 5 };
+
+struct BoundarySet {
+  std::array<FaceBc, 6> faces;
+
+  FaceBc& operator[](Face f) { return faces[static_cast<int>(f)]; }
+  const FaceBc& operator[](Face f) const { return faces[static_cast<int>(f)]; }
+
+  /// All-adiabatic set (every physical problem must override at least one
+  /// face or the steady-state system is singular; the solver checks).
+  static BoundarySet adiabatic() { return {}; }
+
+  /// Typical packaged-chip setup: convection on top (heat sink) and bottom
+  /// (board), adiabatic laterals.
+  static BoundarySet package(double h_top, double h_bottom, double t_ambient) {
+    BoundarySet set;
+    set[Face::kZMax] = FaceBc::convection(h_top, t_ambient);
+    set[Face::kZMin] = FaceBc::convection(h_bottom, t_ambient);
+    return set;
+  }
+};
+
+}  // namespace photherm::thermal

@@ -1,0 +1,69 @@
+/// \file fvm.hpp
+/// \brief Finite-volume heat-conduction solver (the IcTherm substitute,
+/// paper Sec. IV-B). Assembles the 7-point conduction operator on a
+/// rectilinear mesh with harmonic-mean face conductances and solves the
+/// steady-state system with preconditioned CG.
+#pragma once
+
+#include <memory>
+
+#include "math/csr_matrix.hpp"
+#include "math/solvers.hpp"
+#include "mesh/mesh.hpp"
+#include "thermal/bc.hpp"
+#include "thermal/thermal_map.hpp"
+
+namespace photherm::thermal {
+
+/// Discrete conduction problem: A T = b with per-cell heat capacitance
+/// (C = rho * cp * V) for transient stepping.
+struct DiscreteSystem {
+  math::CsrMatrix matrix;
+  math::Vector rhs;
+  math::Vector capacitance;  ///< [J/K] per cell
+};
+
+/// Assemble the steady-state conduction system for `mesh` under `bcs`.
+/// Face conductance between two cells is the series combination of the
+/// half-cell resistances: G = A / (d1/(2 k1) + d2/(2 k2)).
+/// `cell_conductivity` (optional) overrides the material conductivity per
+/// cell — used by the nonlinear solver for temperature-dependent k(T).
+DiscreteSystem assemble(const mesh::RectilinearMesh& mesh, const BoundarySet& bcs,
+                        const math::Vector* cell_conductivity = nullptr);
+
+struct SteadyStateOptions {
+  math::SolverOptions solver;
+  SteadyStateOptions() { solver.rel_tolerance = 1e-10; }
+};
+
+/// Solve the steady-state problem. Throws SolverError if CG fails (an
+/// all-adiabatic boundary set gives a singular system and is reported as a
+/// SpecError before solving).
+ThermalField solve_steady_state(std::shared_ptr<const mesh::RectilinearMesh> mesh,
+                                const BoundarySet& bcs, const SteadyStateOptions& options = {});
+
+/// Convenience overload taking the mesh by value.
+ThermalField solve_steady_state(mesh::RectilinearMesh mesh, const BoundarySet& bcs,
+                                const SteadyStateOptions& options = {});
+
+/// Total heat leaving the domain through boundary faces for a given field
+/// [W]. At steady state this equals the injected power (energy balance);
+/// the validation tests assert it.
+double boundary_heat_flow(const ThermalField& field, const BoundarySet& bcs);
+
+struct NonlinearOptions {
+  SteadyStateOptions linear;
+  std::size_t max_picard_iterations = 30;
+  double temperature_tolerance = 1e-4;  ///< max |dT| between iterations [degC]
+};
+
+/// Steady state with temperature-dependent conductivities (materials with
+/// a non-zero `conductivity_exponent`, e.g. silicon ~T^-1.3): Picard
+/// iteration — evaluate k at the current field, reassemble, resolve, until
+/// the field stops moving. Falls back to a single linear solve when every
+/// material is temperature-independent.
+ThermalField solve_steady_state_nonlinear(std::shared_ptr<const mesh::RectilinearMesh> mesh,
+                                          const BoundarySet& bcs,
+                                          const NonlinearOptions& options = {});
+
+}  // namespace photherm::thermal

@@ -1,0 +1,94 @@
+#include "thermal/thermal_map.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace photherm::thermal {
+
+ThermalField::ThermalField(std::shared_ptr<const mesh::RectilinearMesh> mesh,
+                           std::vector<double> temperatures)
+    : mesh_(std::move(mesh)), t_(std::move(temperatures)) {
+  PH_REQUIRE(mesh_ != nullptr, "thermal field requires a mesh");
+  PH_REQUIRE(t_.size() == mesh_->cell_count(), "temperature vector size must match the mesh");
+}
+
+double ThermalField::at(const geometry::Vec3& p) const { return t_[mesh_->cell_at(p)]; }
+
+double ThermalField::average_in(const geometry::Box3& box) const {
+  const auto cells = mesh_->cells_in(box);
+  PH_REQUIRE(!cells.empty(), "average_in: box does not overlap the mesh");
+  double num = 0.0;
+  double den = 0.0;
+  const std::size_t nx = mesh_->nx();
+  const std::size_t ny = mesh_->ny();
+  for (std::size_t cell : cells) {
+    const std::size_t ix = cell % nx;
+    const std::size_t iy = (cell / nx) % ny;
+    const std::size_t iz = cell / (nx * ny);
+    // Weight by the portion of the cell inside the query box so that small
+    // device regions are not polluted by neighbouring bulk cells.
+    const double w = box.overlap_volume(mesh_->cell_box(ix, iy, iz));
+    num += t_[cell] * w;
+    den += w;
+  }
+  PH_REQUIRE(den > 0.0, "average_in: zero overlap volume");
+  return num / den;
+}
+
+double ThermalField::min_in(const geometry::Box3& box) const {
+  const auto cells = mesh_->cells_in(box);
+  PH_REQUIRE(!cells.empty(), "min_in: box does not overlap the mesh");
+  double m = t_[cells.front()];
+  for (std::size_t cell : cells) {
+    m = std::min(m, t_[cell]);
+  }
+  return m;
+}
+
+double ThermalField::max_in(const geometry::Box3& box) const {
+  const auto cells = mesh_->cells_in(box);
+  PH_REQUIRE(!cells.empty(), "max_in: box does not overlap the mesh");
+  double m = t_[cells.front()];
+  for (std::size_t cell : cells) {
+    m = std::max(m, t_[cell]);
+  }
+  return m;
+}
+
+double ThermalField::spread_in(const geometry::Box3& box) const {
+  return max_in(box) - min_in(box);
+}
+
+double ThermalField::spread_of_averages(const std::vector<geometry::Box3>& boxes) const {
+  PH_REQUIRE(!boxes.empty(), "spread_of_averages: no boxes");
+  double lo = average_in(boxes.front());
+  double hi = lo;
+  for (const auto& box : boxes) {
+    const double avg = average_in(box);
+    lo = std::min(lo, avg);
+    hi = std::max(hi, avg);
+  }
+  return hi - lo;
+}
+
+double ThermalField::global_min() const { return min_value(t_); }
+
+double ThermalField::global_max() const { return max_value(t_); }
+
+std::string ThermalField::slice_csv(double z) const {
+  const std::size_t iz = mesh_->z().find_cell(z);
+  std::ostringstream os;
+  os << "x,y,temperature\n";
+  for (std::size_t iy = 0; iy < mesh_->ny(); ++iy) {
+    for (std::size_t ix = 0; ix < mesh_->nx(); ++ix) {
+      os << mesh_->x().cell_center(ix) << "," << mesh_->y().cell_center(iy) << ","
+         << t_[mesh_->index(ix, iy, iz)] << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace photherm::thermal

@@ -1,0 +1,53 @@
+/// \file thermal_map.hpp
+/// \brief Result of a thermal solve: a temperature per mesh cell with
+/// region-reduction queries (the paper's "thermal map" of Fig. 4). The
+/// paper's two key metrics are the volume-weighted *average* temperature of
+/// a region and the *gradient* temperature (max - min) across regions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/block.hpp"
+#include "mesh/mesh.hpp"
+
+namespace photherm::thermal {
+
+class ThermalField {
+ public:
+  ThermalField(std::shared_ptr<const mesh::RectilinearMesh> mesh,
+               std::vector<double> temperatures);
+
+  const mesh::RectilinearMesh& mesh() const { return *mesh_; }
+  std::shared_ptr<const mesh::RectilinearMesh> mesh_ptr() const { return mesh_; }
+  const std::vector<double>& temperatures() const { return t_; }
+
+  /// Temperature of the cell containing `p` [deg C].
+  double at(const geometry::Vec3& p) const;
+
+  /// Volume-weighted average over all cells intersecting `box`.
+  double average_in(const geometry::Box3& box) const;
+
+  double min_in(const geometry::Box3& box) const;
+  double max_in(const geometry::Box3& box) const;
+
+  /// Paper's "gradient temperature": max - min over `box`.
+  double spread_in(const geometry::Box3& box) const;
+
+  /// Gradient across a set of boxes: max over all boxes' averages minus min
+  /// (e.g. gradient between the VCSELs and MRs of one ONI).
+  double spread_of_averages(const std::vector<geometry::Box3>& boxes) const;
+
+  double global_min() const;
+  double global_max() const;
+
+  /// CSV dump of the z-slice closest to height `z`: columns x,y,T.
+  std::string slice_csv(double z) const;
+
+ private:
+  std::shared_ptr<const mesh::RectilinearMesh> mesh_;
+  std::vector<double> t_;
+};
+
+}  // namespace photherm::thermal

@@ -1,0 +1,80 @@
+#include "thermal/transient.hpp"
+
+#include "util/error.hpp"
+
+namespace photherm::thermal {
+
+namespace {
+math::CsrMatrix add_capacitance(const math::CsrMatrix& a, const math::Vector& capacitance,
+                                double dt) {
+  math::CsrBuilder builder(a.rows(), a.cols());
+  builder.reserve(a.nnz() + a.rows());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      builder.add(r, col_idx[k], values[k]);
+    }
+    builder.add(r, r, capacitance[r] / dt);
+  }
+  return builder.build();
+}
+}  // namespace
+
+TransientSolver::TransientSolver(std::shared_ptr<const mesh::RectilinearMesh> mesh,
+                                 const BoundarySet& bcs, const TransientOptions& options)
+    : mesh_(std::move(mesh)), options_(options) {
+  PH_REQUIRE(mesh_ != nullptr, "TransientSolver: null mesh");
+  PH_REQUIRE(options_.time_step > 0.0, "time step must be positive");
+  system_ = assemble(*mesh_, bcs);
+  stepping_matrix_ = add_capacitance(system_.matrix, system_.capacitance, options_.time_step);
+  state_.assign(mesh_->cell_count(), 0.0);
+  // Separate injected power from boundary wall terms so set_power_scale
+  // throttles only the heat sources, not the ambient coupling.
+  power_.resize(mesh_->cell_count());
+  bc_rhs_.resize(mesh_->cell_count());
+  for (std::size_t i = 0; i < mesh_->cell_count(); ++i) {
+    power_[i] = mesh_->power(i);
+    bc_rhs_[i] = system_.rhs[i] - power_[i];
+  }
+}
+
+void TransientSolver::set_uniform_state(double t_celsius) {
+  state_.assign(mesh_->cell_count(), t_celsius);
+}
+
+void TransientSolver::set_state(const ThermalField& field) {
+  PH_REQUIRE(field.temperatures().size() == mesh_->cell_count(),
+             "set_state: field does not match the mesh");
+  state_ = field.temperatures();
+}
+
+ThermalField TransientSolver::step() {
+  const std::size_t n = mesh_->cell_count();
+  math::Vector rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i] = system_.capacitance[i] / options_.time_step * state_[i] + bc_rhs_[i] +
+             power_scale_ * power_[i];
+  }
+  math::conjugate_gradient(stepping_matrix_, rhs, state_, options_.solver);
+  time_ += options_.time_step;
+  return ThermalField(mesh_, state_);
+}
+
+ThermalField TransientSolver::advance(std::size_t n) {
+  PH_REQUIRE(n >= 1, "advance requires at least one step");
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    step();
+  }
+  return step();
+}
+
+void TransientSolver::set_power_scale(double scale) {
+  PH_REQUIRE(scale >= 0.0, "power scale must be non-negative");
+  power_scale_ = scale;
+}
+
+const ThermalField TransientSolver::state() const { return ThermalField(mesh_, state_); }
+
+}  // namespace photherm::thermal

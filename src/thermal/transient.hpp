@@ -1,0 +1,62 @@
+/// \file transient.hpp
+/// \brief Transient conduction by implicit (backward) Euler. IcTherm's
+/// original publication [23] is a transient simulator; the paper only needs
+/// steady state, but the transient engine is provided for studying heating
+/// latency of the MR calibration loop (Sec. II discussion).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "thermal/fvm.hpp"
+
+namespace photherm::thermal {
+
+struct TransientOptions {
+  double time_step = 1e-3;  ///< [s]
+  math::SolverOptions solver;
+  TransientOptions() { solver.rel_tolerance = 1e-10; }
+};
+
+/// Steps T(t) forward with backward Euler:
+///   (C/dt + A) T_{n+1} = (C/dt) T_n + q.
+/// The operator (C/dt + A) is SPD, so CG applies. Power can be updated
+/// between steps (e.g. activity phases) via set_power_scale or reassembly.
+class TransientSolver {
+ public:
+  TransientSolver(std::shared_ptr<const mesh::RectilinearMesh> mesh, const BoundarySet& bcs,
+                  const TransientOptions& options = {});
+
+  /// Initialise the state to a uniform temperature.
+  void set_uniform_state(double t_celsius);
+
+  /// Initialise from an existing field (must share the mesh dimensions).
+  void set_state(const ThermalField& field);
+
+  /// Advance one time step; returns the new field (state is kept
+  /// internally as well).
+  ThermalField step();
+
+  /// Advance `n` steps; returns the final field.
+  ThermalField advance(std::size_t n);
+
+  /// Scale all injected power uniformly (activity throttling); takes effect
+  /// on the next step.
+  void set_power_scale(double scale);
+
+  double time() const { return time_; }
+  const ThermalField state() const;
+
+ private:
+  std::shared_ptr<const mesh::RectilinearMesh> mesh_;
+  TransientOptions options_;
+  DiscreteSystem system_;          ///< steady-state operator A and rhs q
+  math::CsrMatrix stepping_matrix_;  ///< C/dt + A
+  math::Vector power_;             ///< injected power per cell [W]
+  math::Vector bc_rhs_;            ///< boundary wall terms of the rhs
+  math::Vector state_;
+  double power_scale_ = 1.0;
+  double time_ = 0.0;
+};
+
+}  // namespace photherm::thermal

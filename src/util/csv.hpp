@@ -1,0 +1,55 @@
+/// \file csv.hpp
+/// \brief Tabular output used by the benchmark harness: every figure/table
+/// reproduction prints an aligned text table (for the console) and can dump
+/// the same rows as CSV (for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace photherm {
+
+/// A cell is either text or a number (formatted with configurable precision).
+using TableCell = std::variant<std::string, double>;
+
+/// Accumulates rows and renders them either as an aligned console table or
+/// as CSV. Column count is fixed by the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<TableCell> row);
+
+  /// Number of data rows.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Number of columns.
+  std::size_t column_count() const { return header_.size(); }
+
+  /// Set the number of significant digits used for numeric cells (default 4).
+  void set_precision(int digits);
+
+  /// Render as an aligned, human-readable table.
+  std::string to_text() const;
+
+  /// Render as CSV (RFC-4180 quoting for cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Write CSV to `path`, throwing photherm::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const TableCell& cell) const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<TableCell>> rows_;
+  int precision_ = 4;
+};
+
+/// Convenience: print `table.to_text()` with a title banner to `os`.
+void print_table(std::ostream& os, const std::string& title, const Table& table);
+
+}  // namespace photherm

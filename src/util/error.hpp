@@ -1,0 +1,53 @@
+/// \file error.hpp
+/// \brief Error handling for the photherm library.
+///
+/// Precondition violations and unrecoverable numerical failures throw
+/// photherm::Error (derived from std::runtime_error) so that callers —
+/// including the test-suite — can assert on failure modes.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace photherm {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a user-supplied specification is inconsistent
+/// (overlapping blocks, empty mesh, negative power, ...).
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an iterative solver fails to converge.
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require_failure(const char* cond, const char* file, int line,
+                                               const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement `" << cond << "` failed: " << message;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace photherm
+
+/// Precondition check that is always active (not compiled out in release
+/// builds): design-space sweeps feed user parameters straight into the
+/// solvers, so silent corruption is worse than the branch cost.
+#define PH_REQUIRE(cond, message)                                                    \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      ::photherm::detail::throw_require_failure(#cond, __FILE__, __LINE__, message); \
+    }                                                                                \
+  } while (false)

@@ -1,0 +1,51 @@
+/// \file log.hpp
+/// \brief Minimal leveled logger. Benches and examples use it to narrate
+/// sweeps; the library itself only logs at Debug/Trace level so that tests
+/// stay quiet by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace photherm {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` (thread-safe, writes to stderr).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace photherm
+
+#define PH_LOG(level)                                     \
+  if (static_cast<int>(level) < static_cast<int>(::photherm::log_level())) { \
+  } else                                                  \
+    ::photherm::detail::LogLine(level)
+
+#define PH_LOG_INFO PH_LOG(::photherm::LogLevel::kInfo)
+#define PH_LOG_DEBUG PH_LOG(::photherm::LogLevel::kDebug)
+#define PH_LOG_WARN PH_LOG(::photherm::LogLevel::kWarn)
+#define PH_LOG_ERROR PH_LOG(::photherm::LogLevel::kError)

@@ -1,0 +1,64 @@
+/// \file stats.hpp
+/// \brief Small statistics helpers used when reducing thermal maps
+/// (average/min/max/gradient over regions) and when summarising sweeps.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+
+#include "util/error.hpp"
+
+namespace photherm {
+
+inline double mean(std::span<const double> values) {
+  PH_REQUIRE(!values.empty(), "mean of empty range");
+  return std::accumulate(values.begin(), values.end(), 0.0) / static_cast<double>(values.size());
+}
+
+inline double min_value(std::span<const double> values) {
+  PH_REQUIRE(!values.empty(), "min of empty range");
+  return *std::min_element(values.begin(), values.end());
+}
+
+inline double max_value(std::span<const double> values) {
+  PH_REQUIRE(!values.empty(), "max of empty range");
+  return *std::max_element(values.begin(), values.end());
+}
+
+/// Peak-to-peak spread; this is the paper's "gradient temperature" metric
+/// (max - min over a region).
+inline double spread(std::span<const double> values) {
+  PH_REQUIRE(!values.empty(), "spread of empty range");
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  return *hi - *lo;
+}
+
+inline double stddev(std::span<const double> values) {
+  PH_REQUIRE(values.size() >= 2, "stddev needs at least two samples");
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+/// Weighted mean (weights need not be normalised; must be non-negative with
+/// positive sum). Used for volume-weighted region temperature averages.
+inline double weighted_mean(std::span<const double> values, std::span<const double> weights) {
+  PH_REQUIRE(values.size() == weights.size(), "weighted_mean: size mismatch");
+  PH_REQUIRE(!values.empty(), "weighted_mean of empty range");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    PH_REQUIRE(weights[i] >= 0.0, "weighted_mean: negative weight");
+    num += values[i] * weights[i];
+    den += weights[i];
+  }
+  PH_REQUIRE(den > 0.0, "weighted_mean: zero total weight");
+  return num / den;
+}
+
+}  // namespace photherm

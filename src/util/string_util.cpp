@@ -1,0 +1,55 @@
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace photherm {
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+namespace {
+std::string format_si(double value, const char* unit, double scale_milli, double scale_micro) {
+  std::ostringstream os;
+  const double mag = std::abs(value);
+  if (mag >= 1.0 || mag == 0.0) {
+    os << format_fixed(value, 3) << " " << unit;
+  } else if (mag >= scale_milli) {
+    os << format_fixed(value * 1e3, 3) << " m" << unit;
+  } else if (mag >= scale_micro) {
+    os << format_fixed(value * 1e6, 3) << " u" << unit;
+  } else {
+    os << format_fixed(value * 1e9, 3) << " n" << unit;
+  }
+  return os.str();
+}
+}  // namespace
+
+std::string format_power(double watts) { return format_si(watts, "W", 1e-3, 1e-6); }
+
+std::string format_length(double metres) { return format_si(metres, "m", 1e-3, 1e-6); }
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return s;
+}
+
+}  // namespace photherm

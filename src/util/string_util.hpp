@@ -1,0 +1,25 @@
+/// \file string_util.hpp
+/// \brief Formatting helpers shared by reports and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace photherm {
+
+/// printf-style float with fixed decimals, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int decimals);
+
+/// Human-readable SI formatting of a power in watts ("3.6 mW", "25 W").
+std::string format_power(double watts);
+
+/// Human-readable SI formatting of a length in metres ("15 um", "3.2 mm").
+std::string format_length(double metres);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Lower-cased copy (ASCII).
+std::string to_lower(std::string s);
+
+}  // namespace photherm

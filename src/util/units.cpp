@@ -1,0 +1,28 @@
+#include "util/units.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace photherm {
+
+double watt_to_dbm(double p_watt) {
+  PH_REQUIRE(p_watt > 0.0, "watt_to_dbm requires a strictly positive power");
+  return 10.0 * std::log10(p_watt / 1e-3);
+}
+
+double dbm_to_watt(double p_dbm) { return 1e-3 * std::pow(10.0, p_dbm / 10.0); }
+
+double db_to_linear(double loss_db) { return std::pow(10.0, -loss_db / 10.0); }
+
+double linear_to_db(double transmission) {
+  PH_REQUIRE(transmission > 0.0, "linear_to_db requires transmission > 0");
+  return -10.0 * std::log10(transmission);
+}
+
+double ratio_db(double num, double den) {
+  PH_REQUIRE(num > 0.0 && den > 0.0, "ratio_db requires positive powers");
+  return 10.0 * std::log10(num / den);
+}
+
+}  // namespace photherm

@@ -1,0 +1,68 @@
+/// \file units.hpp
+/// \brief Unit helpers. The library uses SI internally: metres, watts,
+/// kelvin (temperatures are stored in degrees Celsius where noted),
+/// amperes, seconds. These helpers make literals in examples and tests
+/// readable: `15.0 * units::um`, `3.6 * units::mW`.
+#pragma once
+
+namespace photherm::units {
+
+// Length (metres).
+inline constexpr double m = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// Power (watts).
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+
+// Current (amperes).
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+
+// Time (seconds).
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+
+}  // namespace photherm::units
+
+namespace photherm {
+
+/// Physical constants used by the photonic device models.
+namespace constants {
+/// Planck constant [J*s].
+inline constexpr double kPlanck = 6.62607015e-34;
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 2.99792458e8;
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+}  // namespace constants
+
+/// Photon energy [J] at vacuum wavelength `lambda_m` [m].
+inline constexpr double photon_energy(double lambda_m) {
+  return constants::kPlanck * constants::kSpeedOfLight / lambda_m;
+}
+
+/// Convert a power in watts to dBm. `p_watt` must be > 0.
+double watt_to_dbm(double p_watt);
+
+/// Convert a power in dBm to watts.
+double dbm_to_watt(double p_dbm);
+
+/// Convert a loss expressed in dB (positive = attenuation) to a linear
+/// transmission factor in (0, 1].
+double db_to_linear(double loss_db);
+
+/// Convert a linear transmission factor in (0, 1] to a loss in dB.
+double linear_to_db(double transmission);
+
+/// Power ratio in dB: 10*log10(num/den).
+double ratio_db(double num, double den);
+
+}  // namespace photherm

@@ -1,0 +1,122 @@
+#include "power/activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace photherm::power {
+namespace {
+
+using geometry::Box3;
+
+TileGrid grid_6x4() {
+  return TileGrid(Box3::make({0, 0, 0}, {26.5e-3, 21.4e-3, 10e-6}), 6, 4);
+}
+
+TEST(TileGrid, Geometry) {
+  const TileGrid grid = grid_6x4();
+  EXPECT_EQ(grid.tile_count(), 24u);
+  const Box3 t00 = grid.tile_box(0, 0);
+  EXPECT_NEAR(t00.extent(0), 26.5e-3 / 6, 1e-12);
+  EXPECT_NEAR(t00.extent(1), 21.4e-3 / 4, 1e-12);
+  const Box3 t53 = grid.tile_box(5, 3);
+  EXPECT_NEAR(t53.hi.x, 26.5e-3, 1e-12);
+  EXPECT_NEAR(t53.hi.y, 21.4e-3, 1e-12);
+  EXPECT_THROW(grid.tile_box(6, 0), Error);
+}
+
+class ActivitySweep : public ::testing::TestWithParam<ActivityKind> {};
+
+TEST_P(ActivitySweep, ConservesTotalPower) {
+  const TileGrid grid = grid_6x4();
+  Rng rng(3);
+  const auto powers = generate_activity(grid, GetParam(), 25.0, rng);
+  ASSERT_EQ(powers.size(), 24u);
+  const double total = std::accumulate(powers.begin(), powers.end(), 0.0);
+  EXPECT_NEAR(total, 25.0, 1e-9);
+  for (double p : powers) {
+    EXPECT_GE(p, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ActivitySweep,
+                         ::testing::Values(ActivityKind::kUniform, ActivityKind::kDiagonal,
+                                           ActivityKind::kRandom, ActivityKind::kHotspot,
+                                           ActivityKind::kCheckerboard),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Activity, UniformIsFlat) {
+  const auto powers = generate_activity(grid_6x4(), ActivityKind::kUniform, 24.0);
+  for (double p : powers) {
+    EXPECT_NEAR(p, 1.0, 1e-12);
+  }
+}
+
+TEST(Activity, DiagonalQuadrantsMatchPaper) {
+  // Paper Sec. V-C: UL and BR dissipate 8 W each, UR and BL 4 W each for a
+  // 24 W chip -> heavy quadrants carry twice the light ones.
+  const TileGrid grid = grid_6x4();
+  const auto powers = generate_activity(grid, ActivityKind::kDiagonal, 24.0);
+  double ul = 0.0, ur = 0.0, bl = 0.0, br = 0.0;
+  for (std::size_t j = 0; j < grid.ny(); ++j) {
+    for (std::size_t i = 0; i < grid.nx(); ++i) {
+      const double p = powers[grid.tile_index(i, j)];
+      const bool right = i >= grid.nx() / 2;
+      const bool top = j >= grid.ny() / 2;
+      (top ? (right ? ur : ul) : (right ? br : bl)) += p;
+    }
+  }
+  EXPECT_NEAR(ul, 8.0, 1e-9);
+  EXPECT_NEAR(br, 8.0, 1e-9);
+  EXPECT_NEAR(ur, 4.0, 1e-9);
+  EXPECT_NEAR(bl, 4.0, 1e-9);
+}
+
+TEST(Activity, RandomIsSeededDeterministic) {
+  const TileGrid grid = grid_6x4();
+  Rng a(11), b(11), c(12);
+  const auto pa = generate_activity(grid, ActivityKind::kRandom, 10.0, a);
+  const auto pb = generate_activity(grid, ActivityKind::kRandom, 10.0, b);
+  const auto pc = generate_activity(grid, ActivityKind::kRandom, 10.0, c);
+  EXPECT_EQ(pa, pb);
+  EXPECT_NE(pa, pc);
+}
+
+TEST(Activity, RandomWithoutRngThrows) {
+  EXPECT_THROW(generate_activity(grid_6x4(), ActivityKind::kRandom, 10.0), Error);
+}
+
+TEST(Activity, HotspotPeaksAtCenter) {
+  const TileGrid grid = grid_6x4();
+  const auto powers = generate_activity(grid, ActivityKind::kHotspot, 10.0);
+  double corner = powers[grid.tile_index(0, 0)];
+  double center = powers[grid.tile_index(3, 2)];
+  EXPECT_GT(center, 2.0 * corner);
+}
+
+TEST(Activity, HeatSourceEmission) {
+  const TileGrid grid = grid_6x4();
+  geometry::Scene scene;
+  const auto powers = generate_activity(grid, ActivityKind::kUniform, 24.0);
+  add_heat_sources(scene, grid, powers, 0.0, 10e-6, "beol");
+  EXPECT_EQ(scene.size(), 24u);
+  EXPECT_NEAR(scene.total_power(), 24.0, 1e-9);
+  EXPECT_EQ(scene[0].kind, geometry::BlockKind::kHeatSource);
+  EXPECT_THROW(add_heat_sources(scene, grid, {1.0}, 0.0, 1e-6, "beol"), Error);
+}
+
+TEST(ActivityTrace, PhaseLookup) {
+  const ActivityTrace trace({{1.0, 1.0}, {2.0, 0.5}, {1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(trace.total_duration(), 4.0);
+  EXPECT_DOUBLE_EQ(trace.scale_at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(trace.scale_at(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(trace.scale_at(3.5), 2.0);
+  EXPECT_DOUBLE_EQ(trace.scale_at(99.0), 2.0);  // clamps to last
+  EXPECT_THROW(ActivityTrace({}), Error);
+  EXPECT_THROW(ActivityTrace({{0.0, 1.0}}), Error);
+}
+
+}  // namespace
+}  // namespace photherm::power

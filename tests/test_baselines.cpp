@@ -1,0 +1,106 @@
+#include "noc/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace photherm::noc {
+namespace {
+
+TEST(Baselines, OrnocIsCrossingFree) {
+  const CrossbarLossParams params;
+  for (std::size_t s = 0; s < 8; ++s) {
+    for (std::size_t d = 0; d < 8; ++d) {
+      if (s == d) {
+        continue;
+      }
+      EXPECT_EQ(path_model(CrossbarTopology::kOrnoc, 8, s, d, params).crossings, 0);
+    }
+  }
+}
+
+TEST(Baselines, OrnocTakesShorterArc) {
+  const CrossbarLossParams params;
+  const auto near = path_model(CrossbarTopology::kOrnoc, 8, 0, 1, params);
+  const auto far = path_model(CrossbarTopology::kOrnoc, 8, 0, 7, params);  // 1 hop ccw
+  EXPECT_DOUBLE_EQ(near.length, far.length);
+}
+
+TEST(Baselines, WorstAtLeastAverage) {
+  const CrossbarLossParams params;
+  for (const auto topology :
+       {CrossbarTopology::kOrnoc, CrossbarTopology::kMatrix,
+        CrossbarTopology::kLambdaRouter, CrossbarTopology::kSnake}) {
+    for (std::size_t n : {4u, 8u, 16u}) {
+      EXPECT_GE(worst_case_loss_db(topology, n, params),
+                average_loss_db(topology, n, params) - 1e-12)
+          << to_string(topology) << " n=" << n;
+    }
+  }
+}
+
+TEST(Baselines, LossGrowsWithScale) {
+  const CrossbarLossParams params;
+  for (const auto topology :
+       {CrossbarTopology::kOrnoc, CrossbarTopology::kMatrix,
+        CrossbarTopology::kLambdaRouter, CrossbarTopology::kSnake}) {
+    EXPECT_LT(worst_case_loss_db(topology, 4, params),
+              worst_case_loss_db(topology, 32, params))
+        << to_string(topology);
+  }
+}
+
+TEST(Baselines, OrnocWinsAtPaperScale) {
+  // Sec. II claim: ORNoC reduces both worst-case and average insertion loss
+  // versus Matrix, lambda-router and Snake at 4x4 (16 nodes).
+  const CrossbarLossParams params;
+  const std::size_t n = 16;
+  const double ornoc_worst = worst_case_loss_db(CrossbarTopology::kOrnoc, n, params);
+  const double ornoc_avg = average_loss_db(CrossbarTopology::kOrnoc, n, params);
+  for (const auto topology :
+       {CrossbarTopology::kMatrix, CrossbarTopology::kLambdaRouter,
+        CrossbarTopology::kSnake}) {
+    EXPECT_LT(ornoc_worst, worst_case_loss_db(topology, n, params)) << to_string(topology);
+    EXPECT_LT(ornoc_avg, average_loss_db(topology, n, params)) << to_string(topology);
+  }
+}
+
+TEST(Baselines, ReductionMagnitudeNearPaper) {
+  // ~42.5 % worst-case and ~38 % average reduction (we accept a band).
+  const CrossbarLossParams params;
+  const std::size_t n = 16;
+  const double ornoc_worst = worst_case_loss_db(CrossbarTopology::kOrnoc, n, params);
+  double reduction = 0.0;
+  for (const auto topology :
+       {CrossbarTopology::kMatrix, CrossbarTopology::kLambdaRouter,
+        CrossbarTopology::kSnake}) {
+    reduction += 1.0 - ornoc_worst / worst_case_loss_db(topology, n, params);
+  }
+  reduction /= 3.0;
+  EXPECT_GT(reduction, 0.30);
+  EXPECT_LT(reduction, 0.60);
+}
+
+TEST(Baselines, InsertionLossComposition) {
+  CrossbarLossParams params;
+  params.drop_loss_db = 1.0;
+  params.through_loss_db = 0.1;
+  params.crossing_loss_db = 0.2;
+  params.propagation_db_per_cm = 1.0;
+  PathModel path;
+  path.drops = 1;
+  path.throughs = 3;
+  path.crossings = 2;
+  path.length = 2e-2;
+  EXPECT_NEAR(insertion_loss_db(path, params), 1.0 + 0.3 + 0.4 + 2.0, 1e-12);
+}
+
+TEST(Baselines, Validation) {
+  const CrossbarLossParams params;
+  EXPECT_THROW(path_model(CrossbarTopology::kMatrix, 1, 0, 0, params), Error);
+  EXPECT_THROW(path_model(CrossbarTopology::kMatrix, 4, 0, 0, params), Error);
+  EXPECT_THROW(path_model(CrossbarTopology::kMatrix, 4, 0, 9, params), Error);
+}
+
+}  // namespace
+}  // namespace photherm::noc

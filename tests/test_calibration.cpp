@@ -1,0 +1,83 @@
+#include "noc/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace photherm::noc {
+namespace {
+
+TEST(Calibration, TrimUsesCheaperBlueShiftWhenPossible) {
+  const CalibrationParams params;
+  // Ring red of its channel by 0.3 nm: voltage (blue) tuning at 130 uW/nm.
+  const RingTrim blue = trim_for_misalignment(0.3e-9, params);
+  EXPECT_FALSE(blue.uses_heater);
+  EXPECT_NEAR(blue.power, 130e-6 * 0.3, 1e-12);
+  // Ring blue of its channel: only heating red-shifts, 190 uW/nm.
+  const RingTrim red = trim_for_misalignment(-0.3e-9, params);
+  EXPECT_TRUE(red.uses_heater);
+  EXPECT_NEAR(red.power, 190e-6 * 0.3, 1e-12);
+}
+
+TEST(Calibration, LargeErrorFallsBackToHeater) {
+  const CalibrationParams params;  // blue range 0.4 nm
+  const RingTrim trim = trim_for_misalignment(1.0e-9, params);
+  EXPECT_TRUE(trim.uses_heater);
+  EXPECT_NEAR(trim.power, 190e-6 * 1.0, 1e-12);
+}
+
+TEST(Calibration, ZeroErrorCostsNothing) {
+  const RingTrim trim = trim_for_misalignment(0.0, CalibrationParams{});
+  EXPECT_DOUBLE_EQ(trim.power, 0.0);
+}
+
+TEST(Calibration, PerRingPlanSumsPowers) {
+  const CalibrationParams params;
+  // Errors in degC -> x0.1 nm/degC.
+  const auto plan = per_ring_plan({2.0, -1.0, 0.0, 3.5}, params);
+  ASSERT_EQ(plan.trims.size(), 4u);
+  // 2 degC -> 0.2 nm blue (130), -1 degC -> 0.1 nm red (190),
+  // 3.5 degC -> 0.35 nm blue (130).
+  EXPECT_NEAR(plan.total_power, 130e-6 * 0.2 + 190e-6 * 0.1 + 130e-6 * 0.35, 1e-12);
+  EXPECT_EQ(plan.heater_count, 1u);
+  EXPECT_THROW(per_ring_plan({}, params), Error);
+}
+
+TEST(Calibration, ClusteringTradesPowerForResidual) {
+  const CalibrationParams params;
+  // Two clusters of rings with small within-cluster spread.
+  const std::vector<double> errors{2.0, 2.2, 1.8, -3.0, -3.1, -2.9};
+  const std::vector<std::size_t> clusters{0, 0, 0, 1, 1, 1};
+  const auto clustered = clustered_plan(errors, clusters, params);
+  const auto per_ring = per_ring_plan(errors, params);
+
+  // One trim per cluster instead of one per ring...
+  EXPECT_EQ(clustered.plan.trims.size(), 2u);
+  // ...at lower total power...
+  EXPECT_LT(clustered.plan.total_power, per_ring.total_power);
+  // ...with a bounded residual (0.2 degC spread -> 0.02 nm).
+  EXPECT_NEAR(clustered.worst_residual, 0.2 * 0.1e-9, 1e-15);
+}
+
+TEST(Calibration, ClusterResidualGrowsWithGradient) {
+  // This is why the paper minimises the intra-ONI gradient: a hot laser
+  // next to a cool ring makes per-cluster calibration inaccurate.
+  const CalibrationParams params;
+  const std::vector<std::size_t> clusters{0, 0};
+  const auto tight = clustered_plan({1.0, 1.2}, clusters, params);
+  const auto loose = clustered_plan({1.0, 6.8}, clusters, params);
+  EXPECT_GT(loose.worst_residual, 10.0 * tight.worst_residual);
+}
+
+TEST(Calibration, CoronaScaleBudget) {
+  // Sec. III-B: ~1.1e6 MRs; at ~1 nm typical misalignment the calibration
+  // budget reaches the hundreds-of-watts scale that the paper reports as
+  // "more than 50 % of the total network power".
+  const double power = network_calibration_power(1'100'000, 1e-9, CalibrationParams{});
+  EXPECT_NEAR(power, 1'100'000 * 160e-6, 1.0);  // mean(130, 190) uW each
+  EXPECT_GT(power, 100.0);
+  EXPECT_THROW(network_calibration_power(0, 1e-9, CalibrationParams{}), Error);
+}
+
+}  // namespace
+}  // namespace photherm::noc

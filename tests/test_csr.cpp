@@ -1,0 +1,97 @@
+#include "math/csr_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace photherm::math {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 2 -1  0 ]
+  // [-1  2 -1 ]
+  // [ 0 -1  2 ]
+  CsrBuilder builder(3, 3);
+  builder.add(0, 0, 2.0);
+  builder.add(0, 1, -1.0);
+  builder.add(1, 0, -1.0);
+  builder.add(1, 1, 2.0);
+  builder.add(1, 2, -1.0);
+  builder.add(2, 1, -1.0);
+  builder.add(2, 2, 2.0);
+  return builder.build();
+}
+
+TEST(CsrBuilder, MergesDuplicates) {
+  CsrBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 0, 2.5);
+  builder.add(1, 1, -1.0);
+  const CsrMatrix m = builder.build();
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(CsrBuilder, RejectsOutOfRange) {
+  CsrBuilder builder(2, 2);
+  EXPECT_THROW(builder.add(2, 0, 1.0), Error);
+  EXPECT_THROW(builder.add(0, 2, 1.0), Error);
+}
+
+TEST(CsrMatrix, MultiplyMatchesDense) {
+  const CsrMatrix m = small_matrix();
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y = m.multiply(x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);   // 2*1 - 2
+  EXPECT_DOUBLE_EQ(y[1], 0.0);   // -1 + 4 - 3
+  EXPECT_DOUBLE_EQ(y[2], 4.0);   // -2 + 6
+}
+
+TEST(CsrMatrix, DiagonalExtraction) {
+  const CsrMatrix m = small_matrix();
+  const Vector d = m.diagonal();
+  EXPECT_EQ(d, (Vector{2.0, 2.0, 2.0}));
+}
+
+TEST(CsrMatrix, SymmetryCheck) {
+  EXPECT_TRUE(small_matrix().is_symmetric());
+  CsrBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 1, 5.0);
+  builder.add(1, 1, 1.0);
+  EXPECT_FALSE(builder.build().is_symmetric());
+}
+
+TEST(CsrMatrix, EmptyRowsAllowed) {
+  CsrBuilder builder(3, 3);
+  builder.add(0, 0, 1.0);
+  builder.add(2, 2, 1.0);
+  const CsrMatrix m = builder.build();
+  const Vector y = m.multiply({1.0, 1.0, 1.0});
+  EXPECT_EQ(y, (Vector{1.0, 0.0, 1.0}));
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  Vector y{1.0, 1.0};
+  axpy(2.0, a, y);
+  EXPECT_EQ(y, (Vector{3.0, 5.0}));
+  EXPECT_DOUBLE_EQ(max_abs({-7.0, 3.0}), 7.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  const Vector a{1.0};
+  const Vector b{1.0, 2.0};
+  EXPECT_THROW(dot(a, b), Error);
+  Vector y{1.0};
+  EXPECT_THROW(axpy(1.0, b, y), Error);
+}
+
+}  // namespace
+}  // namespace photherm::math

@@ -1,0 +1,65 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace photherm {
+namespace {
+
+TEST(Table, RowWidthEnforced) {
+  Table table({"a", "b"});
+  table.add_row({1.0, 2.0});
+  EXPECT_THROW(table.add_row({1.0}), Error);
+  EXPECT_THROW(table.add_row({1.0, 2.0, 3.0}), Error);
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.column_count(), 2u);
+}
+
+TEST(Table, TextRenderingContainsHeaderAndValues) {
+  Table table({"name", "value"});
+  table.add_row({std::string("x"), 42.0});
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find('|'), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table table({"a", "b"});
+  table.add_row({1.5, std::string("two")});
+  EXPECT_EQ(table.to_csv(), "a,b\n1.5,two\n");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table({"a"});
+  table.add_row({std::string("hello, world")});
+  table.add_row({std::string("say \"hi\"")});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsNumericFormat) {
+  Table table({"v"});
+  table.add_row({3.14159265});
+  table.set_precision(3);
+  EXPECT_NE(table.to_csv().find("3.14\n"), std::string::npos);
+  EXPECT_THROW(table.set_precision(0), Error);
+  EXPECT_THROW(table.set_precision(99), Error);
+}
+
+TEST(Table, EmptyHeaderRejected) { EXPECT_THROW(Table({}), Error); }
+
+TEST(Table, PrintTableWritesTitle) {
+  Table table({"x"});
+  table.add_row({1.0});
+  std::ostringstream os;
+  print_table(os, "My Title", table);
+  EXPECT_NE(os.str().find("== My Title =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace photherm

@@ -1,0 +1,212 @@
+#include "thermal/fvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/stack.hpp"
+#include "util/error.hpp"
+
+namespace photherm::thermal {
+namespace {
+
+using geometry::Block;
+using geometry::Box3;
+using geometry::Scene;
+
+/// Uniform silicon slab, area a x a, thickness t.
+Scene slab(double a, double t) {
+  Scene scene;
+  geometry::LayerStackBuilder stack(a, a);
+  stack.add_layer({"die", "silicon", t});
+  stack.emit(scene);
+  return scene;
+}
+
+TEST(Fvm, MatrixIsSymmetricSpd) {
+  Scene scene = slab(1e-3, 200e-6);
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 200e-6;
+  options.default_max_cell_z = 100e-6;
+  const auto mesh = mesh::RectilinearMesh::build(scene, options);
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(1e4, 25.0);
+  const auto system = assemble(mesh, bcs);
+  EXPECT_TRUE(system.matrix.is_symmetric());
+  // Diagonal dominance (M-matrix): diagonal >= sum of |off-diagonals|.
+  const auto d = system.matrix.diagonal();
+  for (double v : d) {
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(Fvm, AllAdiabaticRejected) {
+  Scene scene = slab(1e-3, 200e-6);
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 500e-6;
+  const auto mesh = mesh::RectilinearMesh::build(scene, options);
+  EXPECT_THROW(assemble(mesh, BoundarySet::adiabatic()), Error);
+}
+
+TEST(Fvm, NoPowerGivesAmbientEverywhere) {
+  Scene scene = slab(1e-3, 200e-6);
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 250e-6;
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(5e3, 42.0);
+  const auto field =
+      solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
+  EXPECT_NEAR(field.global_min(), 42.0, 1e-8);
+  EXPECT_NEAR(field.global_max(), 42.0, 1e-8);
+}
+
+TEST(Fvm, UniformFluxMatches1dAnalytic) {
+  // Uniform volumetric heating of a slab, convection on top, adiabatic
+  // elsewhere: surface T = T_inf + q''/h; bottom adds q'' t / (2 k) ... the
+  // exact profile is parabolic; check both faces.
+  const double a = 1e-3;
+  const double t = 200e-6;
+  const double power = 0.2;
+  Scene scene = slab(a, t);
+  Block heat;
+  heat.name = "volumetric";
+  heat.box = Box3::make({0, 0, 0}, {a, a, t});
+  heat.material = scene.materials().id_of("silicon");
+  heat.power = power;
+  scene.add(std::move(heat));
+
+  const double h = 2e4;
+  const double t_inf = 30.0;
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(h, t_inf);
+
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = a;  // 1-D column
+  options.default_max_cell_z = 2e-6;
+  const auto field =
+      solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
+
+  const double flux = power / (a * a);
+  const double k = scene.materials().get("silicon").conductivity;
+  const double t_top = t_inf + flux / h;
+  const double t_bottom = t_top + flux * t / (2.0 * k);
+  EXPECT_NEAR(field.at({a / 2, a / 2, t - 1e-9}), t_top, 0.02 * (t_top - t_inf) + 1e-3);
+  EXPECT_NEAR(field.at({a / 2, a / 2, 0.0}), t_bottom, 0.02 * (t_bottom - t_inf) + 1e-3);
+}
+
+TEST(Fvm, SeriesLayersMatchResistanceChain) {
+  // Two layers (silicon under oxide), heat injected at the bottom face
+  // region, convection on top: interface temperatures follow the 1-D
+  // resistance chain.
+  const double a = 0.5e-3;
+  Scene scene;
+  geometry::LayerStackBuilder stack(a, a);
+  stack.add_layer({"si", "silicon", 100e-6});
+  stack.add_layer({"ox", "silicon_dioxide", 20e-6});
+  stack.emit(scene);
+  Block heat;
+  heat.name = "source";
+  heat.box = Box3::make({0, 0, 0}, {a, a, 10e-6});
+  heat.material = scene.materials().id_of("silicon");
+  heat.power = 0.1;
+  scene.add(std::move(heat));
+
+  const double h = 1e4;
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(h, 20.0);
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = a;
+  options.default_max_cell_z = 2e-6;
+  const auto field =
+      solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
+
+  const double flux = 0.1 / (a * a);
+  const double k_ox = scene.materials().get("silicon_dioxide").conductivity;
+  // Temperature drop across the oxide: q'' t / k.
+  const double drop_ox = flux * 20e-6 / k_ox;
+  const double measured_drop =
+      field.at({a / 2, a / 2, 100e-6 - 1e-9}) - field.at({a / 2, a / 2, 120e-6 - 1e-9});
+  EXPECT_NEAR(measured_drop, drop_ox, 0.05 * drop_ox);
+}
+
+TEST(Fvm, EnergyBalance) {
+  const double a = 1e-3;
+  Scene scene = slab(a, 300e-6);
+  Block heat;
+  heat.name = "hotspot";
+  heat.box = Box3::make({a / 4, a / 4, 0}, {a / 2, a / 2, 50e-6});
+  heat.material = scene.materials().id_of("silicon");
+  heat.power = 0.75;
+  scene.add(std::move(heat));
+
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(5e3, 25.0);
+  bcs[Face::kZMin] = FaceBc::convection(100.0, 25.0);
+  bcs[Face::kXMin] = FaceBc::dirichlet(25.0);
+
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 100e-6;
+  options.default_max_cell_z = 50e-6;
+  const auto field =
+      solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
+  EXPECT_NEAR(boundary_heat_flow(field, bcs), 0.75, 1e-6);
+}
+
+TEST(Fvm, DirichletFaceIsRespected) {
+  Scene scene = slab(1e-3, 200e-6);
+  BoundarySet bcs;
+  bcs[Face::kZMin] = FaceBc::dirichlet(77.0);
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 250e-6;
+  options.default_max_cell_z = 20e-6;
+  const auto field =
+      solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
+  // No power: the whole slab relaxes to the wall temperature (up to the
+  // iterative-solver tolerance).
+  EXPECT_NEAR(field.global_min(), 77.0, 1e-5);
+  EXPECT_NEAR(field.global_max(), 77.0, 1e-5);
+}
+
+TEST(Fvm, DirichletFieldVariesAlongFace) {
+  Scene scene = slab(1e-3, 100e-6);
+  BoundarySet bcs;
+  bcs[Face::kZMin] = FaceBc::dirichlet_field(
+      [](const geometry::Vec3& p) { return 20.0 + 1e4 * p.x; });  // 20..30 degC
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 100e-6;
+  options.default_max_cell_z = 25e-6;
+  const auto field =
+      solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
+  const double left = field.at({0.05e-3, 0.5e-3, 0.0});
+  const double right = field.at({0.95e-3, 0.5e-3, 0.0});
+  EXPECT_GT(right, left + 5.0);
+  EXPECT_GT(left, 19.0);
+  EXPECT_LT(right, 31.0);
+}
+
+TEST(Fvm, HotterSourceGivesHotterField) {
+  const double a = 1e-3;
+  for (double power : {0.1, 0.2}) {
+    Scene scene = slab(a, 200e-6);
+    Block heat;
+    heat.name = "h";
+    heat.box = Box3::make({a / 4, a / 4, 0}, {3 * a / 4, 3 * a / 4, 50e-6});
+    heat.material = scene.materials().id_of("silicon");
+    heat.power = power;
+    scene.add(std::move(heat));
+    BoundarySet bcs;
+    bcs[Face::kZMax] = FaceBc::convection(5e3, 25.0);
+    mesh::MeshOptions options;
+    options.default_max_cell_xy = 125e-6;
+    const auto field =
+        solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
+    // Linearity: peak rise doubles with power.
+    static double first_rise = 0.0;
+    if (power == 0.1) {
+      first_rise = field.global_max() - 25.0;
+    } else {
+      EXPECT_NEAR(field.global_max() - 25.0, 2.0 * first_rise, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace photherm::thermal

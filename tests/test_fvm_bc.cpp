@@ -1,0 +1,127 @@
+/// Boundary-condition coverage of the FVM solver beyond the package setup:
+/// side-face convection, all-Dirichlet boxes, mixed conditions and heat
+/// flow accounting per face type.
+#include <gtest/gtest.h>
+
+#include "geometry/stack.hpp"
+#include "thermal/fvm.hpp"
+#include "util/error.hpp"
+
+namespace photherm::thermal {
+namespace {
+
+using geometry::Block;
+using geometry::Box3;
+using geometry::Scene;
+
+Scene cube(double a, double power) {
+  Scene scene;
+  geometry::LayerStackBuilder stack(a, a);
+  stack.add_layer({"body", "silicon", a});
+  stack.emit(scene);
+  if (power > 0.0) {
+    Block heat;
+    heat.name = "core";
+    heat.box = Box3::make({a / 4, a / 4, a / 4}, {3 * a / 4, 3 * a / 4, 3 * a / 4});
+    heat.material = scene.materials().id_of("silicon");
+    heat.power = power;
+    scene.add(std::move(heat));
+  }
+  return scene;
+}
+
+mesh::RectilinearMesh mesh_cube(const Scene& scene, double cell) {
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = cell;
+  options.default_max_cell_z = cell;
+  return mesh::RectilinearMesh::build(scene, options);
+}
+
+TEST(FvmBc, SideConvectionCoolsLaterally) {
+  const double a = 1e-3;
+  const Scene scene = cube(a, 0.3);
+  BoundarySet bcs;
+  bcs[Face::kXMin] = FaceBc::convection(1e4, 20.0);
+  const auto field = solve_steady_state(mesh_cube(scene, 100e-6), bcs);
+  // Heat escapes through x-: the far (x+) side must run hotter.
+  EXPECT_GT(field.at({0.95e-3, 0.5e-3, 0.5e-3}), field.at({0.05e-3, 0.5e-3, 0.5e-3}));
+  EXPECT_NEAR(boundary_heat_flow(field, bcs), 0.3, 1e-6);
+}
+
+TEST(FvmBc, AllSixFacesConvective) {
+  const double a = 1e-3;
+  const Scene scene = cube(a, 0.6);
+  BoundarySet bcs;
+  for (int f = 0; f < 6; ++f) {
+    bcs.faces[f] = FaceBc::convection(5e3, 25.0);
+  }
+  const auto field = solve_steady_state(mesh_cube(scene, 100e-6), bcs);
+  // Symmetric cooling: centre is the hottest point.
+  EXPECT_NEAR(field.global_max(), field.at({0.5e-3, 0.5e-3, 0.5e-3}), 1e-9);
+  EXPECT_NEAR(boundary_heat_flow(field, bcs), 0.6, 1e-6);
+  // Symmetry of the field across x (probe at mirrored cell centres).
+  EXPECT_NEAR(field.at({0.3e-3, 0.5e-3, 0.5e-3}), field.at({0.7e-3, 0.5e-3, 0.5e-3}), 1e-6);
+}
+
+TEST(FvmBc, OpposingDirichletWallsGiveLinearProfile) {
+  const double a = 1e-3;
+  const Scene scene = cube(a, 0.0);
+  BoundarySet bcs;
+  bcs[Face::kXMin] = FaceBc::dirichlet(10.0);
+  bcs[Face::kXMax] = FaceBc::dirichlet(90.0);
+  const auto field = solve_steady_state(mesh_cube(scene, 50e-6), bcs);
+  // Pure conduction between walls: exactly linear at cell centres
+  // (50 um cells -> centres at 25 + 50 k um): T(x) = 10 + 80 x / L.
+  EXPECT_NEAR(field.at({0.275e-3, 0.5e-3, 0.5e-3}), 32.0, 1e-6);
+  EXPECT_NEAR(field.at({0.525e-3, 0.5e-3, 0.5e-3}), 52.0, 1e-6);
+  EXPECT_NEAR(field.at({0.775e-3, 0.5e-3, 0.5e-3}), 72.0, 1e-6);
+  // Net wall-to-wall flow: k A dT / L = 130 * 1e-6 * 80 / 1e-3 = 10.4 W
+  // through each wall, but the *net* boundary flow is zero (no sources).
+  EXPECT_NEAR(boundary_heat_flow(field, bcs), 0.0, 1e-6);
+}
+
+TEST(FvmBc, MixedConvectionAndDirichlet) {
+  const double a = 1e-3;
+  const Scene scene = cube(a, 0.4);
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(2e3, 30.0);
+  bcs[Face::kZMin] = FaceBc::dirichlet(30.0);
+  const auto field = solve_steady_state(mesh_cube(scene, 100e-6), bcs);
+  EXPECT_NEAR(boundary_heat_flow(field, bcs), 0.4, 1e-6);
+  EXPECT_GE(field.global_min(), 30.0 - 1e-6);
+}
+
+TEST(FvmBc, StrongerConvectionLowersTemperature) {
+  const double a = 1e-3;
+  const Scene scene = cube(a, 0.5);
+  double previous = 1e9;
+  for (double h : {1e3, 5e3, 2e4}) {
+    BoundarySet bcs;
+    bcs[Face::kZMax] = FaceBc::convection(h, 25.0);
+    const auto field = solve_steady_state(mesh_cube(scene, 125e-6), bcs);
+    EXPECT_LT(field.global_max(), previous);
+    previous = field.global_max();
+  }
+}
+
+TEST(FvmBc, DirichletFieldOnSideFace) {
+  const double a = 1e-3;
+  const Scene scene = cube(a, 0.0);
+  BoundarySet bcs;
+  bcs[Face::kYMin] = FaceBc::dirichlet_field(
+      [](const geometry::Vec3& p) { return 20.0 + 2e4 * p.z; });  // 20..40 over z
+  const auto field = solve_steady_state(mesh_cube(scene, 100e-6), bcs);
+  EXPECT_LT(field.at({0.5e-3, 0.05e-3, 0.1e-3}), field.at({0.5e-3, 0.05e-3, 0.9e-3}));
+  EXPECT_GE(field.global_min(), 20.0 - 1.0);
+  EXPECT_LE(field.global_max(), 40.0 + 1.0);
+}
+
+TEST(FvmBc, ConvectionRequiresPositiveH) {
+  const Scene scene = cube(1e-3, 0.1);
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(0.0, 25.0);
+  EXPECT_THROW(solve_steady_state(mesh_cube(scene, 250e-6), bcs), Error);
+}
+
+}  // namespace
+}  // namespace photherm::thermal

@@ -1,0 +1,113 @@
+#include "geometry/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/block.hpp"
+#include "util/error.hpp"
+
+namespace photherm::geometry {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ((a + b), (Vec3{5, 7, 9}));
+  EXPECT_EQ((b - a), (Vec3{3, 3, 3}));
+  EXPECT_EQ((a * 2.0), (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[1], 2.0);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+}
+
+TEST(Box3, ConstructionValidation) {
+  EXPECT_NO_THROW(Box3::make({0, 0, 0}, {1, 1, 1}));
+  EXPECT_THROW(Box3::make({0, 0, 0}, {0, 1, 1}), Error);
+  EXPECT_THROW(Box3::make({0, 0, 0}, {1, -1, 1}), Error);
+  const Box3 b = Box3::from_size({1, 1, 1}, {2, 3, 4});
+  EXPECT_EQ(b.hi, (Vec3{3, 4, 5}));
+}
+
+TEST(Box3, VolumeExtentCenter) {
+  const Box3 b = Box3::make({0, 0, 0}, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(b.volume(), 24.0);
+  EXPECT_DOUBLE_EQ(b.extent(0), 2.0);
+  EXPECT_DOUBLE_EQ(b.extent(2), 4.0);
+  EXPECT_EQ(b.center(), (Vec3{1, 1.5, 2}));
+}
+
+TEST(Box3, Containment) {
+  const Box3 b = Box3::make({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(b.contains({0.5, 0.5, 0.5}));
+  EXPECT_TRUE(b.contains({0, 0, 0}));  // boundary inclusive
+  EXPECT_FALSE(b.contains_interior({0, 0, 0}));
+  EXPECT_FALSE(b.contains({1.1, 0.5, 0.5}));
+}
+
+TEST(Box3, Intersection) {
+  const Box3 a = Box3::make({0, 0, 0}, {2, 2, 2});
+  const Box3 b = Box3::make({1, 1, 1}, {3, 3, 3});
+  const Box3 c = Box3::make({5, 5, 5}, {6, 6, 6});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_DOUBLE_EQ(a.overlap_volume(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.overlap_volume(c), 0.0);
+  // Touching faces do not intersect (open intervals).
+  const Box3 d = Box3::make({2, 0, 0}, {3, 2, 2});
+  EXPECT_FALSE(a.intersects(d));
+  EXPECT_DOUBLE_EQ(a.overlap_volume(d), 0.0);
+}
+
+TEST(Box3, Union) {
+  const Box3 a = Box3::make({0, 0, 0}, {1, 1, 1});
+  const Box3 b = Box3::make({2, 2, 2}, {3, 3, 3});
+  const Box3 u = a.union_with(b);
+  EXPECT_EQ(u.lo, (Vec3{0, 0, 0}));
+  EXPECT_EQ(u.hi, (Vec3{3, 3, 3}));
+}
+
+TEST(Scene, PaintOrderSemantics) {
+  Scene scene;
+  const auto si = scene.materials().id_of("silicon");
+  const auto cu = scene.materials().id_of("copper");
+  const auto air = scene.materials().id_of("air");
+  scene.add({"slab", Box3::make({0, 0, 0}, {2, 2, 1}), si, 0.0, BlockKind::kLayer, -1});
+  scene.add({"via", Box3::make({0.5, 0.5, 0}, {1, 1, 1}), cu, 0.0, BlockKind::kTsv, -1});
+  EXPECT_EQ(scene.material_at({0.1, 0.1, 0.5}, air), si);
+  EXPECT_EQ(scene.material_at({0.75, 0.75, 0.5}, air), cu);  // later block wins
+  EXPECT_EQ(scene.material_at({5, 5, 5}, air), air);
+}
+
+TEST(Scene, PowersAndBounds) {
+  Scene scene;
+  const auto si = scene.materials().id_of("silicon");
+  scene.add({"a", Box3::make({0, 0, 0}, {1, 1, 1}), si, 2.0, BlockKind::kHeatSource, 0});
+  scene.add({"b", Box3::make({1, 1, 1}, {2, 2, 2}), si, 3.0, BlockKind::kHeatSource, 1});
+  EXPECT_DOUBLE_EQ(scene.total_power(), 5.0);
+  EXPECT_EQ(scene.bounding_box(), Box3::make({0, 0, 0}, {2, 2, 2}));
+  EXPECT_THROW(scene.add({"bad", Box3::make({0, 0, 0}, {1, 1, 1}), si, -1.0,
+                          BlockKind::kOther, -1}),
+               Error);
+}
+
+TEST(Scene, FindByKindAndGroup) {
+  Scene scene;
+  const auto si = scene.materials().id_of("silicon");
+  scene.add({"v0", Box3::make({0, 0, 0}, {1, 1, 1}), si, 0.0, BlockKind::kVcsel, 0});
+  scene.add({"v1", Box3::make({1, 0, 0}, {2, 1, 1}), si, 0.0, BlockKind::kVcsel, 1});
+  scene.add({"m0", Box3::make({2, 0, 0}, {3, 1, 1}), si, 0.0, BlockKind::kMicroRing, 0});
+  EXPECT_EQ(scene.find(BlockKind::kVcsel).size(), 2u);
+  EXPECT_EQ(scene.find(BlockKind::kVcsel, 1).size(), 1u);
+  EXPECT_EQ(scene.find(BlockKind::kHeater).size(), 0u);
+  EXPECT_EQ(scene.by_name("m0").kind, BlockKind::kMicroRing);
+  EXPECT_THROW(scene.by_name("nope"), SpecError);
+}
+
+TEST(Scene, BlockKindNames) {
+  EXPECT_EQ(to_string(BlockKind::kVcsel), "vcsel");
+  EXPECT_EQ(to_string(BlockKind::kMicroRing), "microring");
+  EXPECT_EQ(to_string(BlockKind::kHeatSource), "heat_source");
+}
+
+}  // namespace
+}  // namespace photherm::geometry

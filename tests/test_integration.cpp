@@ -1,0 +1,115 @@
+/// End-to-end integration tests: the full methodology pipeline at coarse
+/// resolution, exercising every module together the way the benches do.
+#include <gtest/gtest.h>
+
+#include "core/design_space.hpp"
+#include "core/methodology.hpp"
+#include "util/error.hpp"
+
+namespace photherm::core {
+namespace {
+
+OnocDesignSpec coarse_spec() {
+  OnocDesignSpec spec;
+  spec.placement = OniPlacementMode::kRing;
+  spec.ring_case_id = 1;
+  spec.chip_power = 24.0;
+  spec.global_cell_xy = 3e-3;
+  spec.oni_cell_xy = 20e-6;
+  spec.oni_cell_z = 2e-6;
+  return spec;
+}
+
+TEST(Integration, ActivityOrderingMatchesPaper) {
+  // Diagonal activity spreads the ONI temperatures more than uniform; the
+  // worst-case SNR follows (Fig. 12 trend), evaluated on the large ring
+  // where the effect is strongest.
+  OnocDesignSpec spec = coarse_spec();
+  spec.ring_case_id = 3;
+
+  spec.activity = power::ActivityKind::kUniform;
+  const auto uniform = ThermalAwareDesigner(spec).run();
+  spec.activity = power::ActivityKind::kDiagonal;
+  const auto diagonal = ThermalAwareDesigner(spec).run();
+
+  ASSERT_TRUE(uniform.snr && diagonal.snr);
+  EXPECT_GT(diagonal.thermal.oni_spread, uniform.thermal.oni_spread);
+  EXPECT_LE(diagonal.snr->network.worst_snr_db,
+            uniform.snr->network.worst_snr_db + 0.5);
+}
+
+TEST(Integration, SnrDecreasesWithRingLength) {
+  // Fig. 12: longer waveguides -> more propagation loss and more
+  // co-propagating communications -> lower worst-case SNR.
+  OnocDesignSpec spec = coarse_spec();
+  spec.ring_case_id = 1;
+  const auto short_ring = ThermalAwareDesigner(spec).run();
+  spec.ring_case_id = 3;
+  const auto long_ring = ThermalAwareDesigner(spec).run();
+  ASSERT_TRUE(short_ring.snr && long_ring.snr);
+  EXPECT_GT(short_ring.snr->network.worst_snr_db, long_ring.snr->network.worst_snr_db);
+  EXPECT_GT(short_ring.snr->network.min_signal_power,
+            long_ring.snr->network.min_signal_power);
+}
+
+TEST(Integration, SweepSnrProducesAllRows) {
+  OnocDesignSpec spec = coarse_spec();
+  const auto rows = sweep_snr(spec, {1}, {power::ActivityKind::kUniform,
+                                          power::ActivityKind::kDiagonal});
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.ring_case, 1);
+    EXPECT_NEAR(row.waveguide_length, 18e-3, 1e-12);
+    EXPECT_GT(row.signal_power, 0.0);
+    EXPECT_GE(row.oni_t_max, row.oni_t_min);
+    EXPECT_TRUE(std::isfinite(row.worst_snr_db));
+  }
+}
+
+TEST(Integration, VcselChipPowerSweepTrends) {
+  OnocDesignSpec spec = coarse_spec();
+  spec.placement = OniPlacementMode::kAllTiles;
+  spec.heater_ratio = 0.0;
+  const auto rows =
+      sweep_vcsel_chip_power(spec, {12.5, 25.0}, {0.0, 6e-3});
+  ASSERT_EQ(rows.size(), 4u);
+  // Fig. 9-a trends: average rises with both chip power and laser power.
+  const auto find = [&](double chip, double vcsel) {
+    for (const auto& row : rows) {
+      if (row.p_chip == chip && row.p_vcsel == vcsel) {
+        return row;
+      }
+    }
+    throw Error("row not found");
+  };
+  EXPECT_GT(find(25.0, 0.0).average, find(12.5, 0.0).average);
+  EXPECT_GT(find(12.5, 6e-3).average, find(12.5, 0.0).average);
+  EXPECT_GT(find(12.5, 6e-3).gradient, find(12.5, 0.0).gradient);
+}
+
+TEST(Integration, GradientConstraintCheck) {
+  // With a small laser power and the optimal heater the interface meets
+  // the paper's < 1 degC intra-ONI constraint.
+  OnocDesignSpec spec = coarse_spec();
+  spec.p_vcsel = 1e-3;
+  spec.heater_ratio = 0.3;
+  const auto report = ThermalAwareDesigner(spec).run();
+  EXPECT_LT(report.thermal.max_gradient, 2.5);
+}
+
+TEST(Integration, ReportConsistency) {
+  const auto report = ThermalAwareDesigner(coarse_spec()).run();
+  // The SNR analysis consumed exactly the ONI temperatures of the thermal
+  // report; spot-check the bookkeeping.
+  ASSERT_TRUE(report.snr.has_value());
+  EXPECT_EQ(report.thermal.onis.size(), report.snr->oni_count);
+  for (const auto& comm : report.snr->network.comms) {
+    EXPECT_LT(comm.comm.src, report.snr->oni_count);
+    EXPECT_LT(comm.comm.dst, report.snr->oni_count);
+    EXPECT_GE(comm.signal_power, 0.0);
+    EXPECT_GE(comm.crosstalk_power, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace photherm::core

@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace photherm {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, MacroFiltersBelowThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Streams below the threshold must not even evaluate their arguments.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "";
+  };
+  PH_LOG_INFO << count();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kTrace);
+  PH_LOG_ERROR << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    PH_REQUIRE(1 == 2, "the answer must match");
+    FAIL() << "PH_REQUIRE did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the answer must match"), std::string::npos);
+    EXPECT_NE(what.find("test_log.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  EXPECT_THROW(throw SpecError("bad spec"), Error);
+  EXPECT_THROW(throw SolverError("diverged"), Error);
+  EXPECT_THROW(throw Error("generic"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace photherm

@@ -1,0 +1,57 @@
+#include "geometry/material.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace photherm::geometry {
+namespace {
+
+TEST(MaterialLibrary, StandardSetPresent) {
+  MaterialLibrary lib;
+  for (const std::string& name : standard_material_names()) {
+    EXPECT_TRUE(lib.contains(name)) << name;
+  }
+  EXPECT_GE(lib.size(), 15u);
+}
+
+TEST(MaterialLibrary, PhysicallyPlausibleConductivities) {
+  MaterialLibrary lib;
+  // Sanity ordering of the heat paths in the package model.
+  EXPECT_GT(lib.get("copper").conductivity, lib.get("silicon").conductivity);
+  EXPECT_GT(lib.get("silicon").conductivity, lib.get("inp").conductivity);
+  EXPECT_GT(lib.get("inp").conductivity, lib.get("silicon_dioxide").conductivity);
+  EXPECT_GT(lib.get("silicon_dioxide").conductivity, lib.get("air").conductivity);
+  for (const std::string& name : standard_material_names()) {
+    const Material& m = lib.get(name);
+    EXPECT_GT(m.conductivity, 0.0) << name;
+    EXPECT_GT(m.density, 0.0) << name;
+    EXPECT_GT(m.specific_heat, 0.0) << name;
+  }
+}
+
+TEST(MaterialLibrary, AddAndLookup) {
+  MaterialLibrary lib = MaterialLibrary::empty();
+  EXPECT_EQ(lib.size(), 0u);
+  const MaterialId id = lib.add({"diamond", 2200.0, 3510.0, 520.0});
+  EXPECT_EQ(lib.id_of("diamond"), id);
+  EXPECT_DOUBLE_EQ(lib.get(id).conductivity, 2200.0);
+  EXPECT_THROW(lib.id_of("unobtainium"), SpecError);
+}
+
+TEST(MaterialLibrary, RejectsDuplicatesAndBadValues) {
+  MaterialLibrary lib = MaterialLibrary::empty();
+  lib.add({"x", 1.0, 1.0, 1.0});
+  EXPECT_THROW(lib.add({"x", 2.0, 2.0, 2.0}), Error);
+  EXPECT_THROW(lib.add({"", 1.0, 1.0, 1.0}), Error);
+  EXPECT_THROW(lib.add({"bad_k", 0.0, 1.0, 1.0}), Error);
+  EXPECT_THROW(lib.add({"bad_rho", 1.0, -1.0, 1.0}), Error);
+}
+
+TEST(MaterialLibrary, IdOutOfRangeThrows) {
+  MaterialLibrary lib = MaterialLibrary::empty();
+  EXPECT_THROW(lib.get(MaterialId{3}), Error);
+}
+
+}  // namespace
+}  // namespace photherm::geometry

@@ -1,0 +1,151 @@
+#include "mesh/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/stack.hpp"
+#include "util/error.hpp"
+
+namespace photherm::mesh {
+namespace {
+
+using geometry::Block;
+using geometry::BlockKind;
+using geometry::Box3;
+using geometry::Scene;
+
+Scene two_layer_scene() {
+  Scene scene;
+  geometry::LayerStackBuilder stack(1e-3, 1e-3);
+  stack.add_layer({"si", "silicon", 100e-6});
+  stack.add_layer({"ox", "silicon_dioxide", 50e-6});
+  stack.emit(scene);
+  return scene;
+}
+
+TEST(Mesh, MaterialsFollowLayers) {
+  Scene scene = two_layer_scene();
+  MeshOptions options;
+  options.default_max_cell_xy = 250e-6;
+  const auto mesh = RectilinearMesh::build(scene, options);
+  EXPECT_EQ(mesh.nz(), 2u);  // layer faces only
+  const auto si = scene.materials().id_of("silicon");
+  const auto ox = scene.materials().id_of("silicon_dioxide");
+  EXPECT_EQ(mesh.material(mesh.cell_at({0.5e-3, 0.5e-3, 50e-6})), si);
+  EXPECT_EQ(mesh.material(mesh.cell_at({0.5e-3, 0.5e-3, 125e-6})), ox);
+}
+
+TEST(Mesh, PowerDepositedByOverlap) {
+  Scene scene = two_layer_scene();
+  Block heat;
+  heat.name = "hotspot";
+  heat.box = Box3::make({0.25e-3, 0.25e-3, 0}, {0.75e-3, 0.75e-3, 100e-6});
+  heat.material = scene.materials().id_of("silicon");
+  heat.power = 2.0;
+  scene.add(std::move(heat));
+
+  MeshOptions options;
+  options.default_max_cell_xy = 100e-6;
+  const auto mesh = RectilinearMesh::build(scene, options);
+  EXPECT_NEAR(mesh.total_power(), 2.0, 1e-12);
+
+  // Power density is uniform inside the block and zero outside.
+  const std::size_t inside = mesh.cell_at({0.5e-3, 0.5e-3, 50e-6});
+  const std::size_t outside = mesh.cell_at({0.05e-3, 0.05e-3, 50e-6});
+  EXPECT_GT(mesh.power(inside), 0.0);
+  EXPECT_DOUBLE_EQ(mesh.power(outside), 0.0);
+}
+
+TEST(Mesh, PowerClippedByDomain) {
+  Scene scene = two_layer_scene();
+  Block heat;
+  heat.name = "hotspot";
+  heat.box = Box3::make({0.0, 0.0, 0.0}, {1e-3, 1e-3, 100e-6});
+  heat.material = scene.materials().id_of("silicon");
+  heat.power = 4.0;
+  scene.add(std::move(heat));
+
+  // Mesh only half the domain: exactly half the power must be deposited.
+  MeshOptions options;
+  options.default_max_cell_xy = 100e-6;
+  const Box3 half = Box3::make({0.0, 0.0, 0.0}, {0.5e-3, 1e-3, 150e-6});
+  const auto mesh = RectilinearMesh::build(scene, half, options);
+  EXPECT_NEAR(mesh.total_power(), 2.0, 1e-9);
+}
+
+TEST(Mesh, RefinementBoxesRefineLocally) {
+  Scene scene = two_layer_scene();
+  MeshOptions options;
+  options.default_max_cell_xy = 500e-6;
+  RefinementBox refine;
+  refine.box = Box3::make({0.4e-3, 0.4e-3, 0.0}, {0.6e-3, 0.6e-3, 150e-6});
+  refine.max_cell_xy = 10e-6;
+  refine.max_cell_z = 0.0;
+  options.refinements.push_back(refine);
+  const auto mesh = RectilinearMesh::build(scene, options);
+  // 0.2 mm window at 10 um -> at least 20 cells inside plus the coarse rest.
+  EXPECT_GE(mesh.nx(), 22u);
+  const std::size_t fine = mesh.cell_at({0.5e-3, 0.5e-3, 50e-6});
+  const std::size_t ix = fine % mesh.nx();
+  EXPECT_LE(mesh.x().cell_width(ix), 10e-6 + 1e-12);
+}
+
+TEST(Mesh, MinFeatureSizeSkipsDeviceTicks) {
+  Scene scene = two_layer_scene();
+  Block dev;
+  dev.name = "vcsel";
+  dev.box = Box3::make({0.49e-3, 0.49e-3, 100e-6}, {0.505e-3, 0.52e-3, 150e-6});
+  dev.material = scene.materials().id_of("inp");
+  dev.power = 1e-3;
+  scene.add(std::move(dev));
+
+  MeshOptions coarse;
+  coarse.default_max_cell_xy = 500e-6;
+  coarse.min_feature_size_xy = 100e-6;
+  const auto mesh_coarse = RectilinearMesh::build(scene, coarse);
+
+  MeshOptions fine = coarse;
+  fine.min_feature_size_xy = 0.0;
+  const auto mesh_fine = RectilinearMesh::build(scene, fine);
+
+  EXPECT_LT(mesh_coarse.nx(), mesh_fine.nx());
+  // Power still deposited in both.
+  EXPECT_NEAR(mesh_coarse.total_power(), 1e-3, 1e-12);
+  EXPECT_NEAR(mesh_fine.total_power(), 1e-3, 1e-12);
+}
+
+TEST(Mesh, CellsInBox) {
+  Scene scene = two_layer_scene();
+  MeshOptions options;
+  options.default_max_cell_xy = 250e-6;
+  const auto mesh = RectilinearMesh::build(scene, options);
+  const auto all = mesh.cells_in(scene.bounding_box());
+  EXPECT_EQ(all.size(), mesh.cell_count());
+  const auto some = mesh.cells_in(Box3::make({0, 0, 0}, {250e-6, 250e-6, 100e-6}));
+  EXPECT_EQ(some.size(), 1u);
+}
+
+TEST(Mesh, CellBudgetEnforced) {
+  Scene scene = two_layer_scene();
+  MeshOptions options;
+  options.default_max_cell_xy = 1e-6;
+  options.max_cells = 1000;
+  EXPECT_THROW(RectilinearMesh::build(scene, options), Error);
+}
+
+TEST(Mesh, IndexingRoundTrip) {
+  Scene scene = two_layer_scene();
+  MeshOptions options;
+  options.default_max_cell_xy = 250e-6;
+  const auto mesh = RectilinearMesh::build(scene, options);
+  for (std::size_t iz = 0; iz < mesh.nz(); ++iz) {
+    for (std::size_t iy = 0; iy < mesh.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < mesh.nx(); ++ix) {
+        const auto box = mesh.cell_box(ix, iy, iz);
+        EXPECT_EQ(mesh.cell_at(box.center()), mesh.index(ix, iy, iz));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace photherm::mesh

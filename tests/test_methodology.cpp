@@ -1,0 +1,163 @@
+#include "core/methodology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/design_space.hpp"
+#include "util/error.hpp"
+
+namespace photherm::core {
+namespace {
+
+/// Coarse spec for test speed: 10 um ONI cells, 3 mm global cells.
+OnocDesignSpec fast_spec() {
+  OnocDesignSpec spec;
+  spec.placement = OniPlacementMode::kRing;
+  spec.ring_case_id = 1;
+  spec.chip_power = 25.0;
+  spec.p_vcsel = 3.6e-3;
+  spec.global_cell_xy = 3e-3;
+  spec.oni_cell_xy = 15e-6;
+  spec.oni_cell_z = 2e-6;
+  return spec;
+}
+
+TEST(Methodology, BuildSystemRingPlacement) {
+  const ThermalAwareDesigner designer(fast_spec());
+  const auto system = designer.build_system();
+  EXPECT_EQ(system.onis.size(), 4u);  // ring case 1
+  EXPECT_NEAR(system.scene.total_power(),
+              25.0 + 4 * (16 * (3.6e-3 + 3.6e-3) + 16 * 1.08e-3), 1e-6);
+}
+
+TEST(Methodology, BuildSystemAllTiles) {
+  OnocDesignSpec spec = fast_spec();
+  spec.placement = OniPlacementMode::kAllTiles;
+  const ThermalAwareDesigner designer(spec);
+  EXPECT_EQ(designer.build_system().onis.size(), 24u);
+}
+
+TEST(Methodology, ThermalReportShape) {
+  const ThermalAwareDesigner designer(fast_spec());
+  const ThermalReport report = designer.evaluate_thermal();
+  ASSERT_EQ(report.onis.size(), 4u);
+  for (const auto& oni : report.onis) {
+    // Physical sanity: everything sits between ambient and 120 degC.
+    EXPECT_GT(oni.average, 37.0);
+    EXPECT_LT(oni.average, 120.0);
+    EXPECT_GE(oni.gradient, 0.0);
+    EXPECT_LE(oni.gradient, oni.peak_spread + 1e-9);
+    // Lasers run hotter than the rings when heaters are modest.
+    EXPECT_GT(oni.vcsel_average, oni.mr_average - 5.0);
+  }
+  EXPECT_GT(report.chip_average, 37.0);
+  EXPECT_GT(report.oni_average, report.chip_average - 30.0);
+  EXPECT_GE(report.max_gradient, 0.0);
+  EXPECT_GE(report.hottest().average, report.oni_average - 1e-9);
+}
+
+TEST(Methodology, OnlyOniFilters) {
+  const ThermalAwareDesigner designer(fast_spec());
+  const ThermalReport report = designer.evaluate_thermal(2);
+  ASSERT_EQ(report.onis.size(), 1u);
+  EXPECT_EQ(report.onis.front().oni, 2);
+  EXPECT_THROW(designer.evaluate_thermal(99), Error);
+}
+
+TEST(Methodology, MorePowerRaisesTemperatures) {
+  OnocDesignSpec cool = fast_spec();
+  cool.chip_power = 12.5;
+  OnocDesignSpec hot = fast_spec();
+  hot.chip_power = 31.25;
+  const auto report_cool = ThermalAwareDesigner(cool).evaluate_thermal(0);
+  const auto report_hot = ThermalAwareDesigner(hot).evaluate_thermal(0);
+  EXPECT_GT(report_hot.onis[0].average, report_cool.onis[0].average + 3.0);
+  EXPECT_GT(report_hot.chip_average, report_cool.chip_average + 3.0);
+}
+
+TEST(Methodology, VcselPowerRaisesGradient) {
+  OnocDesignSpec low = fast_spec();
+  low.p_vcsel = 1e-3;
+  low.heater_ratio = 0.0;
+  OnocDesignSpec high = fast_spec();
+  high.p_vcsel = 6e-3;
+  high.heater_ratio = 0.0;
+  const auto report_low = ThermalAwareDesigner(low).evaluate_thermal(0);
+  const auto report_high = ThermalAwareDesigner(high).evaluate_thermal(0);
+  EXPECT_GT(report_high.onis[0].gradient, report_low.onis[0].gradient);
+  EXPECT_GT(report_high.onis[0].vcsel_to_mr, report_low.onis[0].vcsel_to_mr);
+}
+
+TEST(Methodology, HeaterReducesGradient) {
+  // The paper's central claim: heating the MRs closes the laser/ring
+  // temperature gap inside the interface.
+  OnocDesignSpec spec = fast_spec();
+  spec.p_vcsel = 6e-3;
+  const auto sweep = explore_heater_ratios(spec, {0.0, 0.3});
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_LT(sweep[1].gradient, sweep[0].gradient);
+  EXPECT_GT(sweep[1].oni_average, sweep[0].oni_average);  // heaters add heat
+  EXPECT_DOUBLE_EQ(sweep[1].p_heater, 0.3 * 6e-3);
+}
+
+TEST(Methodology, SnrReportFromRun) {
+  const ThermalAwareDesigner designer(fast_spec());
+  const DesignReport report = designer.run();
+  ASSERT_TRUE(report.snr.has_value());
+  EXPECT_EQ(report.snr->oni_count, 4u);
+  EXPECT_NEAR(report.snr->waveguide_length, 18e-3, 1e-12);
+  EXPECT_FALSE(report.snr->network.comms.empty());
+  EXPECT_TRUE(std::isfinite(report.snr->network.worst_snr_db));
+  // Every link must clear the -20 dBm photodetector sensitivity here.
+  EXPECT_TRUE(report.links_ok());
+  // Tables render.
+  EXPECT_GT(report.thermal.to_table().row_count(), 0u);
+  EXPECT_GT(report.snr->to_table().row_count(), 0u);
+}
+
+TEST(Methodology, AllTilesRunSkipsSnr) {
+  OnocDesignSpec spec = fast_spec();
+  spec.placement = OniPlacementMode::kAllTiles;
+  spec.global_cell_xy = 3e-3;
+  // Restrict to a single ONI evaluation through the sweep helper to keep
+  // the test fast.
+  const auto sweep = explore_heater_ratios(spec, {0.3});
+  EXPECT_EQ(sweep.size(), 1u);
+  EXPECT_GT(sweep[0].oni_average, 37.0);
+}
+
+TEST(Methodology, SpecValidation) {
+  OnocDesignSpec spec = fast_spec();
+  spec.p_vcsel = -1.0;
+  EXPECT_THROW(ThermalAwareDesigner{spec}, Error);
+  spec = fast_spec();
+  spec.heater_ratio = -0.1;
+  EXPECT_THROW(ThermalAwareDesigner{spec}, Error);
+  spec = fast_spec();
+  spec.chip_power = -5.0;
+  EXPECT_THROW(ThermalAwareDesigner{spec}, Error);
+}
+
+TEST(DesignSpace, Linspace) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+  EXPECT_THROW(linspace(0.0, 1.0, 1), Error);
+  EXPECT_THROW(linspace(1.0, 0.0, 3), Error);
+}
+
+TEST(DesignSpace, BestHeaterPoint) {
+  std::vector<HeaterSweepPoint> sweep(3);
+  sweep[0].heater_ratio = 0.0;
+  sweep[0].gradient = 3.0;
+  sweep[1].heater_ratio = 0.3;
+  sweep[1].gradient = 1.0;
+  sweep[2].heater_ratio = 0.6;
+  sweep[2].gradient = 2.0;
+  EXPECT_DOUBLE_EQ(best_heater_point(sweep).heater_ratio, 0.3);
+  EXPECT_THROW(best_heater_point({}), Error);
+}
+
+}  // namespace
+}  // namespace photherm::core

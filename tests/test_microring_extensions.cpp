@@ -1,0 +1,81 @@
+/// Tests of the MR model extensions beyond the paper's first-order ring:
+/// filter order, free spectral range aliasing and athermal cladding.
+#include <gtest/gtest.h>
+
+#include "photonics/microring.hpp"
+#include "util/error.hpp"
+
+namespace photherm::photonics {
+namespace {
+
+TEST(MicroRingOrder, HigherOrderSuppressesFarCrosstalk) {
+  MicroRingParams second;
+  second.filter_order = 2;
+  const MicroRing ring1{MicroRingParams{}};
+  const MicroRing ring2{second};
+  // Same peak...
+  EXPECT_DOUBLE_EQ(ring2.drop_fraction_detuned(0.0), 1.0);
+  // ...same 3 dB point definition is NOT preserved (order-n of the
+  // Lorentzian): at the old half-drop point the second-order drops 25 %.
+  EXPECT_NEAR(ring2.drop_fraction_detuned(0.775e-9), 0.25, 1e-12);
+  // Far detuning: dramatically more selective.
+  EXPECT_LT(ring2.drop_fraction_detuned(6.4e-9), 0.1 * ring1.drop_fraction_detuned(6.4e-9));
+}
+
+class OrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderSweep, MonotoneRolloffAndBoundedPeak) {
+  MicroRingParams params;
+  params.filter_order = GetParam();
+  const MicroRing ring{params};
+  double previous = 2.0;
+  for (double d_nm = 0.0; d_nm <= 5.0; d_nm += 0.25) {
+    const double drop = ring.drop_fraction_detuned(d_nm * 1e-9);
+    EXPECT_LE(drop, previous + 1e-15);
+    EXPECT_GE(drop, 0.0);
+    EXPECT_LE(drop, 1.0);
+    previous = drop;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OrderSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(MicroRingFsr, AliasesOneFsrAway) {
+  MicroRingParams params;
+  params.fsr = 18e-9;  // ~10 um ring at 1550 nm
+  const MicroRing ring{params};
+  // A signal exactly one FSR away couples as strongly as on-resonance.
+  EXPECT_NEAR(ring.drop_fraction_detuned(18e-9), 1.0, 1e-9);
+  EXPECT_NEAR(ring.drop_fraction_detuned(-18e-9), 1.0, 1e-9);
+  // Half-way between orders: minimal coupling.
+  EXPECT_LT(ring.drop_fraction_detuned(9e-9), 0.04);
+  // Without FSR the same detuning is simply far off-resonance.
+  const MicroRing plain{MicroRingParams{}};
+  EXPECT_LT(plain.drop_fraction_detuned(18e-9), 0.01);
+}
+
+TEST(MicroRingAthermal, CladdingFreezesResonance) {
+  MicroRingParams params;
+  params.athermal_factor = 0.0;  // perfect athermal design (ref [9])
+  const MicroRing ring{params};
+  EXPECT_DOUBLE_EQ(ring.resonance_at(25.0), ring.resonance_at(85.0));
+  // Partial compensation scales linearly.
+  params.athermal_factor = 0.25;
+  const MicroRing partial{params};
+  EXPECT_NEAR(partial.resonance_at(35.0) - partial.resonance_at(25.0), 0.25e-9, 1e-15);
+}
+
+TEST(MicroRingExtensions, Validation) {
+  MicroRingParams params;
+  params.filter_order = 0;
+  EXPECT_THROW(MicroRing{params}, Error);
+  params = MicroRingParams{};
+  params.fsr = -1e-9;
+  EXPECT_THROW(MicroRing{params}, Error);
+  params = MicroRingParams{};
+  params.athermal_factor = 1.5;
+  EXPECT_THROW(MicroRing{params}, Error);
+}
+
+}  // namespace
+}  // namespace photherm::photonics

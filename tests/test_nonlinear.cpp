@@ -1,0 +1,117 @@
+/// Tests of the temperature-dependent-conductivity (Picard) solver.
+#include <gtest/gtest.h>
+
+#include "geometry/stack.hpp"
+#include "thermal/fvm.hpp"
+#include "util/error.hpp"
+
+namespace photherm::thermal {
+namespace {
+
+using geometry::Block;
+using geometry::Box3;
+using geometry::Scene;
+
+TEST(Material, PowerLawConductivity) {
+  geometry::Material si{"si_t", 130.0, 2330.0, 712.0, 1.3, 300.0};
+  EXPECT_NEAR(si.conductivity_at(300.0 - 273.15), 130.0, 1e-9);
+  // Hotter silicon conducts worse.
+  EXPECT_LT(si.conductivity_at(100.0), 130.0);
+  EXPECT_GT(si.conductivity_at(-50.0), 130.0);
+  // Default materials are temperature-independent.
+  geometry::Material constant{"c", 10.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(constant.conductivity_at(500.0), 10.0);
+}
+
+struct Rig {
+  std::shared_ptr<const mesh::RectilinearMesh> mesh;
+  BoundarySet bcs;
+  double power;
+};
+
+Rig make_rig(double exponent, double power) {
+  auto scene = Scene(geometry::MaterialLibrary::empty());
+  geometry::Material si{"si_t", 130.0, 2330.0, 712.0, exponent, 300.0};
+  scene.materials().add(si);
+  scene.materials().add({"air", 0.026, 1.2, 1005.0});
+
+  Block slab;
+  slab.name = "die";
+  slab.box = Box3::make({0, 0, 0}, {1e-3, 1e-3, 200e-6});
+  slab.material = scene.materials().id_of("si_t");
+  scene.add(slab);
+  Block heat;
+  heat.name = "source";
+  heat.box = Box3::make({0.25e-3, 0.25e-3, 0}, {0.75e-3, 0.75e-3, 40e-6});
+  heat.material = scene.materials().id_of("si_t");
+  heat.power = power;
+  scene.add(std::move(heat));
+
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 100e-6;
+  options.default_max_cell_z = 50e-6;
+  Rig rig;
+  rig.mesh = std::make_shared<const mesh::RectilinearMesh>(
+      mesh::RectilinearMesh::build(scene, options));
+  rig.bcs[Face::kZMax] = FaceBc::convection(5e3, 40.0);
+  rig.power = power;
+  return rig;
+}
+
+TEST(Nonlinear, ConstantExponentReducesToLinear) {
+  Rig rig = make_rig(0.0, 0.5);
+  const auto linear = solve_steady_state(rig.mesh, rig.bcs);
+  const auto nonlinear = solve_steady_state_nonlinear(rig.mesh, rig.bcs);
+  EXPECT_NEAR(nonlinear.global_max(), linear.global_max(), 1e-9);
+}
+
+TEST(Nonlinear, DeratedSiliconRunsHotter) {
+  // k(T) drops as the die heats -> the self-consistent field is hotter
+  // than the constant-k prediction.
+  Rig rig = make_rig(1.3, 1.0);
+  const auto linear = solve_steady_state(rig.mesh, rig.bcs);
+  const auto nonlinear = solve_steady_state_nonlinear(rig.mesh, rig.bcs);
+  EXPECT_GT(nonlinear.global_max(), linear.global_max());
+  // The correction is physical (a few percent of the rise), not runaway.
+  const double rise_linear = linear.global_max() - 40.0;
+  const double rise_nonlinear = nonlinear.global_max() - 40.0;
+  EXPECT_LT(rise_nonlinear, 1.25 * rise_linear);
+}
+
+TEST(Nonlinear, SelfConsistency) {
+  // Re-assembling at the converged field and solving once more must not
+  // move the solution (fixed point).
+  Rig rig = make_rig(1.3, 1.0);
+  NonlinearOptions options;
+  options.temperature_tolerance = 1e-6;
+  const auto field = solve_steady_state_nonlinear(rig.mesh, rig.bcs, options);
+
+  const auto& lib = rig.mesh->materials_library();
+  math::Vector k(rig.mesh->cell_count());
+  for (std::size_t cell = 0; cell < rig.mesh->cell_count(); ++cell) {
+    k[cell] = lib.get(rig.mesh->material(cell)).conductivity_at(field.temperatures()[cell]);
+  }
+  auto system = assemble(*rig.mesh, rig.bcs, &k);
+  math::Vector t = field.temperatures();
+  math::conjugate_gradient(system.matrix, system.rhs, t);
+  for (std::size_t cell = 0; cell < rig.mesh->cell_count(); ++cell) {
+    EXPECT_NEAR(t[cell], field.temperatures()[cell], 1e-4);
+  }
+}
+
+TEST(Nonlinear, PicardBudgetEnforced) {
+  Rig rig = make_rig(1.3, 1.0);
+  NonlinearOptions options;
+  options.max_picard_iterations = 1;
+  options.temperature_tolerance = 1e-12;
+  EXPECT_THROW(solve_steady_state_nonlinear(rig.mesh, rig.bcs, options), SolverError);
+}
+
+TEST(Nonlinear, ConductivityOverrideValidated) {
+  Rig rig = make_rig(0.0, 0.1);
+  math::Vector wrong(3, 100.0);
+  EXPECT_THROW(assemble(*rig.mesh, rig.bcs, &wrong), Error);
+}
+
+}  // namespace
+}  // namespace photherm::thermal

@@ -1,0 +1,113 @@
+#include "soc/oni.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace photherm::soc {
+namespace {
+
+using geometry::BlockKind;
+using geometry::Scene;
+using geometry::Vec3;
+
+OniZRanges z_ranges() { return {0.0, 15e-6, 35e-6, 39e-6}; }
+
+TEST(OniBuilder, FootprintMatchesLayout) {
+  const OniBuilder builder{OniLayoutParams{}};
+  // 8 slots x 40 um, 4 rows x 40 um.
+  EXPECT_NEAR(builder.footprint_x(), 320e-6, 1e-12);
+  EXPECT_NEAR(builder.footprint_y(), 160e-6, 1e-12);
+}
+
+TEST(OniBuilder, DeviceCountsMatchFig1b) {
+  // 4 waveguides x 4 TX and 4 RX: 16 VCSELs, 16 MRs, 16 heaters, 16 PDs.
+  Scene scene;
+  const OniBuilder builder{OniLayoutParams{}};
+  OniPowerConfig power;
+  power.p_vcsel = 1e-3;
+  power.p_driver = 1e-3;
+  power.p_heater = 0.3e-3;
+  const auto instance = builder.emit(scene, {0, 0, 0}, 7, z_ranges(), power);
+  EXPECT_EQ(instance.index, 7);
+  EXPECT_EQ(scene.find(BlockKind::kVcsel, 7).size(), 16u);
+  EXPECT_EQ(scene.find(BlockKind::kMicroRing, 7).size(), 16u);
+  EXPECT_EQ(scene.find(BlockKind::kHeater, 7).size(), 16u);
+  EXPECT_EQ(scene.find(BlockKind::kPhotodetector, 7).size(), 16u);
+  EXPECT_EQ(scene.find(BlockKind::kDriver, 7).size(), 16u);
+  EXPECT_EQ(scene.find(BlockKind::kTsv, 7).size(), 16u);
+}
+
+TEST(OniBuilder, ChessboardAlternation) {
+  // Adjacent rows start with opposite device types: slot 0 of row 0 is a
+  // transmitter, slot 0 of row 1 is a receiver.
+  Scene scene;
+  const OniBuilder builder{OniLayoutParams{}};
+  builder.emit(scene, {0, 0, 0}, 0, z_ranges(), OniPowerConfig{});
+  EXPECT_NO_THROW(scene.by_name("oni0_vcsel_w0_s0"));
+  EXPECT_NO_THROW(scene.by_name("oni0_mr_w1_s0"));
+  EXPECT_NO_THROW(scene.by_name("oni0_mr_w0_s1"));
+  EXPECT_NO_THROW(scene.by_name("oni0_vcsel_w1_s1"));
+  EXPECT_THROW(scene.by_name("oni0_vcsel_w1_s0"), Error);
+}
+
+TEST(OniBuilder, TotalPowerAccounting) {
+  Scene scene;
+  const OniBuilder builder{OniLayoutParams{}};
+  OniPowerConfig power;
+  power.p_vcsel = 2e-3;
+  power.p_driver = 2e-3;
+  power.p_heater = 0.6e-3;
+  power.active_tx_per_waveguide = 2;  // 8 of 16 lasers driven
+  builder.emit(scene, {0, 0, 0}, 0, z_ranges(), power);
+  // 8 x (2 + 2) mW + 16 x 0.6 mW.
+  EXPECT_NEAR(scene.total_power(), 8 * 4e-3 + 16 * 0.6e-3, 1e-12);
+}
+
+TEST(OniBuilder, DevicesInsideFootprintAndLayers) {
+  Scene scene;
+  const OniBuilder builder{OniLayoutParams{}};
+  const auto instance = builder.emit(scene, {10e-6, 20e-6, 0}, 0, z_ranges(),
+                                     OniPowerConfig{});
+  for (const auto& block : scene.blocks()) {
+    if (block.kind == BlockKind::kVcsel || block.kind == BlockKind::kMicroRing) {
+      EXPECT_GE(block.box.lo.x, instance.footprint.lo.x - 1e-12) << block.name;
+      EXPECT_LE(block.box.hi.x, instance.footprint.hi.x + 1e-12) << block.name;
+      EXPECT_GE(block.box.lo.z, z_ranges().optical_lo - 1e-12) << block.name;
+      EXPECT_LE(block.box.hi.z, z_ranges().optical_hi + 1e-12) << block.name;
+    }
+    if (block.kind == BlockKind::kDriver) {
+      EXPECT_LE(block.box.hi.z, z_ranges().beol_hi + 1e-12) << block.name;
+    }
+  }
+}
+
+TEST(OniBuilder, HeaterSitsOnTopOfRing) {
+  Scene scene;
+  const OniBuilder builder{OniLayoutParams{}};
+  builder.emit(scene, {0, 0, 0}, 0, z_ranges(), OniPowerConfig{});
+  const auto& ring = scene.by_name("oni0_mr_w0_s1");
+  const auto& heater = scene.by_name("oni0_heater_w0_s1");
+  EXPECT_DOUBLE_EQ(heater.box.lo.z, ring.box.hi.z);
+  EXPECT_DOUBLE_EQ(heater.box.lo.x, ring.box.lo.x);
+  EXPECT_DOUBLE_EQ(heater.box.hi.x, ring.box.hi.x);
+}
+
+TEST(OniBuilder, Validation) {
+  OniLayoutParams params;
+  params.slot_pitch_x = 5e-6;  // smaller than the VCSEL
+  EXPECT_THROW(OniBuilder{params}, Error);
+
+  const OniBuilder builder{OniLayoutParams{}};
+  Scene scene;
+  OniPowerConfig too_many;
+  too_many.active_tx_per_waveguide = 9;
+  EXPECT_THROW(builder.emit(scene, {0, 0, 0}, 0, z_ranges(), too_many), Error);
+
+  OniZRanges bad = z_ranges();
+  bad.optical_hi = bad.optical_lo;
+  EXPECT_THROW(builder.emit(scene, {0, 0, 0}, 0, bad, OniPowerConfig{}), Error);
+}
+
+}  // namespace
+}  // namespace photherm::soc

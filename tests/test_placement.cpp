@@ -1,0 +1,90 @@
+#include "soc/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace photherm::soc {
+namespace {
+
+TEST(RingPlacement, ArcLengthsSumToPerimeter) {
+  const auto sites = ring_placement({0, 0, 0}, 6e-3, 4e-3, 5);
+  ASSERT_EQ(sites.size(), 5u);
+  double total = 0.0;
+  for (const auto& s : sites) {
+    total += s.arc_to_next;
+  }
+  EXPECT_NEAR(total, 2 * (6e-3 + 4e-3), 1e-12);
+}
+
+TEST(RingPlacement, SitesOnRectanglePerimeter) {
+  const double w = 6e-3, h = 4e-3;
+  const auto sites = ring_placement({10e-3, 10e-3, 0}, w, h, 8);
+  for (const auto& s : sites) {
+    const double dx = std::abs(s.center.x - 10e-3);
+    const double dy = std::abs(s.center.y - 10e-3);
+    const bool on_vertical = std::abs(dx - w / 2) < 1e-12 && dy <= h / 2 + 1e-12;
+    const bool on_horizontal = std::abs(dy - h / 2) < 1e-12 && dx <= w / 2 + 1e-12;
+    EXPECT_TRUE(on_vertical || on_horizontal)
+        << s.center.x << ", " << s.center.y;
+  }
+}
+
+TEST(RingPlacement, SitesAreDistinct) {
+  const auto sites = ring_placement({0, 0, 0}, 5e-3, 3e-3, 12);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      EXPECT_GT(geometry::distance(sites[i].center, sites[j].center), 1e-4);
+    }
+  }
+}
+
+TEST(RingPlacement, FourSitesAvoidEdgeMidpoints) {
+  // The half-step phase must keep 4-ONI rings off the mirror axes of the
+  // die, otherwise the diagonal activity cannot differentiate them.
+  const auto sites = ring_placement({0, 0, 0}, 6e-3, 4e-3, 4);
+  for (const auto& s : sites) {
+    EXPECT_GT(std::abs(s.center.x), 1e-4);
+    EXPECT_GT(std::abs(s.center.y), 1e-4);
+  }
+}
+
+TEST(RingPlacement, Validation) {
+  EXPECT_THROW(ring_placement({0, 0, 0}, 0.0, 1e-3, 4), Error);
+  EXPECT_THROW(ring_placement({0, 0, 0}, 1e-3, 1e-3, 1), Error);
+}
+
+TEST(RingCases, PaperPerimetersAndCounts) {
+  const double die_x = 26.5e-3, die_y = 21.4e-3;
+  const auto cases = all_ring_cases(die_x, die_y);
+  ASSERT_EQ(cases.size(), 3u);
+  EXPECT_NEAR(cases[0].perimeter, 18e-3, 1e-12);
+  EXPECT_NEAR(cases[1].perimeter, 32.4e-3, 1e-12);
+  EXPECT_NEAR(cases[2].perimeter, 46.8e-3, 1e-12);
+  EXPECT_EQ(cases[0].oni_count, 4u);
+  EXPECT_EQ(cases[1].oni_count, 8u);
+  EXPECT_EQ(cases[2].oni_count, 12u);
+  for (const auto& rc : cases) {
+    EXPECT_EQ(rc.sites.size(), rc.oni_count);
+    double total = 0.0;
+    for (const auto& s : rc.sites) {
+      total += s.arc_to_next;
+      // Every site fits on the die.
+      EXPECT_GT(s.center.x, 0.0);
+      EXPECT_LT(s.center.x, die_x);
+      EXPECT_GT(s.center.y, 0.0);
+      EXPECT_LT(s.center.y, die_y);
+    }
+    EXPECT_NEAR(total, rc.perimeter, 1e-12);
+  }
+}
+
+TEST(RingCases, Validation) {
+  EXPECT_THROW(ring_case(0, 26.5e-3, 21.4e-3), Error);
+  EXPECT_THROW(ring_case(4, 26.5e-3, 21.4e-3), Error);
+  // Die too small for the case-3 rectangle.
+  EXPECT_THROW(ring_case(3, 5e-3, 5e-3), Error);
+}
+
+}  // namespace
+}  // namespace photherm::soc

@@ -1,0 +1,47 @@
+#include "geometry/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace photherm::geometry {
+namespace {
+
+TEST(LayerStack, StacksBottomUp) {
+  LayerStackBuilder stack(1e-3, 2e-3);
+  stack.add_layer({"a", "silicon", 100e-6});
+  stack.add_layer({"b", "copper", 50e-6});
+  EXPECT_DOUBLE_EQ(stack.top(), 150e-6);
+  EXPECT_EQ(stack.layer_count(), 2u);
+  const auto [lo, hi] = stack.layer_range(1);
+  EXPECT_DOUBLE_EQ(lo, 100e-6);
+  EXPECT_DOUBLE_EQ(hi, 150e-6);
+}
+
+TEST(LayerStack, EmitsSceneBlocks) {
+  Scene scene;
+  LayerStackBuilder stack(1e-3, 2e-3, 10e-6);
+  stack.add_layer({"die", "silicon", 100e-6});
+  stack.add_layer({"lid", "copper", 200e-6, BlockKind::kPackage});
+  stack.emit(scene);
+  ASSERT_EQ(scene.size(), 2u);
+  EXPECT_EQ(scene[0].name, "die");
+  EXPECT_DOUBLE_EQ(scene[0].box.lo.z, 10e-6);
+  EXPECT_DOUBLE_EQ(scene[1].box.hi.z, 310e-6);
+  EXPECT_EQ(scene[1].kind, BlockKind::kPackage);
+  EXPECT_DOUBLE_EQ(scene[0].box.extent(0), 1e-3);
+  EXPECT_DOUBLE_EQ(scene[0].box.extent(1), 2e-3);
+}
+
+TEST(LayerStack, Validation) {
+  EXPECT_THROW(LayerStackBuilder(0.0, 1.0), Error);
+  LayerStackBuilder stack(1e-3, 1e-3);
+  EXPECT_THROW(stack.add_layer({"z", "silicon", 0.0}), Error);
+  EXPECT_THROW(stack.layer_range(0), Error);
+  Scene scene;
+  stack.add_layer({"u", "unknown_material", 1e-6});
+  EXPECT_THROW(stack.emit(scene), SpecError);
+}
+
+}  // namespace
+}  // namespace photherm::geometry

@@ -1,0 +1,53 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace photherm {
+namespace {
+
+TEST(Stats, MeanMinMaxSpread) {
+  const std::vector<double> v{1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(min_value(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 5.0);
+  EXPECT_DOUBLE_EQ(spread(v), 4.0);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> v{2.5};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(spread(v), 0.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW(mean(v), Error);
+  EXPECT_THROW(min_value(v), Error);
+  EXPECT_THROW(max_value(v), Error);
+  EXPECT_THROW(spread(v), Error);
+}
+
+TEST(Stats, StdDev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(stddev(one), Error);
+}
+
+TEST(Stats, WeightedMean) {
+  const std::vector<double> v{10.0, 20.0};
+  const std::vector<double> w{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(v, w), 17.5);
+}
+
+TEST(Stats, WeightedMeanRejectsBadWeights) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(weighted_mean(v, std::vector<double>{1.0}), Error);
+  EXPECT_THROW(weighted_mean(v, std::vector<double>{-1.0, 2.0}), Error);
+  EXPECT_THROW(weighted_mean(v, std::vector<double>{0.0, 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace photherm

@@ -1,0 +1,38 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photherm {
+namespace {
+
+TEST(StringUtil, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(StringUtil, FormatPower) {
+  EXPECT_EQ(format_power(3.6e-3), "3.600 mW");
+  EXPECT_EQ(format_power(25.0), "25.000 W");
+  EXPECT_EQ(format_power(130e-6), "130.000 uW");
+  EXPECT_EQ(format_power(5e-9), "5.000 nW");
+}
+
+TEST(StringUtil, FormatLength) {
+  EXPECT_EQ(format_length(15e-6), "15.000 um");
+  EXPECT_EQ(format_length(26.5e-3), "26.500 mm");
+  EXPECT_EQ(format_length(1.55e-9), "1.550 nm");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(to_lower("VCSEL MicroRing"), "vcsel microring");
+}
+
+}  // namespace
+}  // namespace photherm

@@ -1,0 +1,42 @@
+#include "core/tech.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photherm::core {
+namespace {
+
+TEST(Tech, Table1Defaults) {
+  const TechnologyParameters tech;
+  EXPECT_DOUBLE_EQ(tech.wavelength, 1550e-9);
+  EXPECT_DOUBLE_EQ(tech.bandwidth_3db, 1.55e-9);
+  EXPECT_DOUBLE_EQ(tech.pd_sensitivity_dbm, -20.0);
+  EXPECT_DOUBLE_EQ(tech.thermal_sensitivity, 0.1e-9);
+  EXPECT_DOUBLE_EQ(tech.propagation_loss_db_cm, 0.5);
+  EXPECT_DOUBLE_EQ(tech.taper_coupling, 0.70);
+}
+
+TEST(Tech, ModelInheritsParameters) {
+  TechnologyParameters tech;
+  tech.bandwidth_3db = 2e-9;
+  tech.thermal_sensitivity = 0.2e-9;
+  tech.propagation_loss_db_cm = 1.0;
+  const auto model = make_snr_model(tech);
+  EXPECT_DOUBLE_EQ(model.microring.bandwidth_3db, 2e-9);
+  EXPECT_DOUBLE_EQ(model.microring.dlambda_dt, 0.2e-9);
+  EXPECT_DOUBLE_EQ(model.vcsel.dlambda_dt, 0.2e-9);
+  EXPECT_DOUBLE_EQ(model.waveguide.propagation_loss_db_per_cm, 1.0);
+  EXPECT_DOUBLE_EQ(model.taper.coupling_efficiency, 0.70);
+  EXPECT_DOUBLE_EQ(model.channels.center, 1550e-9);
+}
+
+TEST(Tech, TableHasAllRows) {
+  const Table table = technology_table();
+  EXPECT_EQ(table.column_count(), 2u);
+  EXPECT_GE(table.row_count(), 6u);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("1550 nm"), std::string::npos);
+  EXPECT_NE(text.find("-20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace photherm::core

@@ -1,0 +1,94 @@
+#include "thermal/thermal_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/stack.hpp"
+#include "thermal/fvm.hpp"
+#include "util/error.hpp"
+
+namespace photherm::thermal {
+namespace {
+
+using geometry::Box3;
+using geometry::Scene;
+
+/// A 2x2x1 mesh with hand-set temperatures.
+struct Rig {
+  std::shared_ptr<const mesh::RectilinearMesh> mesh;
+  Rig() {
+    Scene scene;
+    geometry::LayerStackBuilder stack(2e-3, 2e-3);
+    stack.add_layer({"die", "silicon", 100e-6});
+    stack.emit(scene);
+    mesh::MeshOptions options;
+    options.default_max_cell_xy = 1e-3;
+    mesh = std::make_shared<const mesh::RectilinearMesh>(
+        mesh::RectilinearMesh::build(scene, options));
+  }
+};
+
+TEST(ThermalField, PointQueries) {
+  Rig rig;
+  ASSERT_EQ(rig.mesh->cell_count(), 4u);
+  // Cells: (0,0), (1,0), (0,1), (1,1) -> temperatures 10, 20, 30, 40.
+  const ThermalField field(rig.mesh, {10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(field.at({0.5e-3, 0.5e-3, 50e-6}), 10.0);
+  EXPECT_DOUBLE_EQ(field.at({1.5e-3, 0.5e-3, 50e-6}), 20.0);
+  EXPECT_DOUBLE_EQ(field.at({0.5e-3, 1.5e-3, 50e-6}), 30.0);
+  EXPECT_DOUBLE_EQ(field.at({1.5e-3, 1.5e-3, 50e-6}), 40.0);
+  EXPECT_DOUBLE_EQ(field.global_min(), 10.0);
+  EXPECT_DOUBLE_EQ(field.global_max(), 40.0);
+}
+
+TEST(ThermalField, VolumeWeightedAverage) {
+  Rig rig;
+  const ThermalField field(rig.mesh, {10, 20, 30, 40});
+  // Whole domain: plain mean (equal volumes).
+  EXPECT_DOUBLE_EQ(field.average_in(Box3::make({0, 0, 0}, {2e-3, 2e-3, 100e-6})), 25.0);
+  // A box covering 100% of cell 0 and 50% of cell 1 (by x-extent).
+  const double avg =
+      field.average_in(Box3::make({0, 0, 0}, {1.5e-3, 1e-3, 100e-6}));
+  EXPECT_NEAR(avg, (10.0 * 1.0 + 20.0 * 0.5) / 1.5, 1e-12);
+}
+
+TEST(ThermalField, SpreadQueries) {
+  Rig rig;
+  const ThermalField field(rig.mesh, {10, 20, 30, 40});
+  const Box3 all = Box3::make({0, 0, 0}, {2e-3, 2e-3, 100e-6});
+  EXPECT_DOUBLE_EQ(field.min_in(all), 10.0);
+  EXPECT_DOUBLE_EQ(field.max_in(all), 40.0);
+  EXPECT_DOUBLE_EQ(field.spread_in(all), 30.0);
+  const Box3 bottom = Box3::make({0, 0, 0}, {2e-3, 1e-3, 100e-6});
+  EXPECT_DOUBLE_EQ(field.spread_in(bottom), 10.0);
+}
+
+TEST(ThermalField, SpreadOfAverages) {
+  Rig rig;
+  const ThermalField field(rig.mesh, {10, 20, 30, 40});
+  const std::vector<Box3> boxes{
+      Box3::make({0, 0, 0}, {1e-3, 1e-3, 100e-6}),      // cell 0: 10
+      Box3::make({1e-3, 1e-3, 0}, {2e-3, 2e-3, 100e-6}) // cell 3: 40
+  };
+  EXPECT_DOUBLE_EQ(field.spread_of_averages(boxes), 30.0);
+  EXPECT_THROW(field.spread_of_averages({}), Error);
+}
+
+TEST(ThermalField, SliceCsv) {
+  Rig rig;
+  const ThermalField field(rig.mesh, {10, 20, 30, 40});
+  const std::string csv = field.slice_csv(50e-6);
+  EXPECT_NE(csv.find("x,y,temperature"), std::string::npos);
+  // 4 cells -> 4 data lines + header.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(ThermalField, Validation) {
+  Rig rig;
+  EXPECT_THROW(ThermalField(rig.mesh, {1.0}), Error);
+  EXPECT_THROW(ThermalField(nullptr, {}), Error);
+  const ThermalField field(rig.mesh, {10, 20, 30, 40});
+  EXPECT_THROW(field.average_in(Box3::make({5e-3, 5e-3, 0}, {6e-3, 6e-3, 1e-3})), Error);
+}
+
+}  // namespace
+}  // namespace photherm::thermal

@@ -1,0 +1,122 @@
+#include "thermal/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/stack.hpp"
+#include "util/error.hpp"
+
+namespace photherm::thermal {
+namespace {
+
+using geometry::Block;
+using geometry::Box3;
+using geometry::Scene;
+
+struct Rig {
+  std::shared_ptr<const mesh::RectilinearMesh> mesh;
+  BoundarySet bcs;
+};
+
+Rig make_rig(double power) {
+  auto scene = std::make_shared<Scene>();
+  geometry::LayerStackBuilder stack(1e-3, 1e-3);
+  stack.add_layer({"die", "silicon", 200e-6});
+  stack.emit(*scene);
+  if (power > 0.0) {
+    Block heat;
+    heat.name = "source";
+    heat.box = Box3::make({0.25e-3, 0.25e-3, 0}, {0.75e-3, 0.75e-3, 50e-6});
+    heat.material = scene->materials().id_of("silicon");
+    heat.power = power;
+    scene->add(std::move(heat));
+  }
+  mesh::MeshOptions options;
+  options.default_max_cell_xy = 125e-6;
+  options.default_max_cell_z = 50e-6;
+  Rig rig;
+  rig.mesh = std::make_shared<const mesh::RectilinearMesh>(
+      mesh::RectilinearMesh::build(*scene, options));
+  rig.bcs[Face::kZMax] = FaceBc::convection(5e3, 25.0);
+  return rig;
+}
+
+TEST(Transient, EquilibriumStaysPut) {
+  Rig rig = make_rig(0.0);
+  TransientOptions options;
+  options.time_step = 1e-3;
+  TransientSolver solver(rig.mesh, rig.bcs, options);
+  solver.set_uniform_state(25.0);
+  const auto field = solver.advance(5);
+  EXPECT_NEAR(field.global_min(), 25.0, 1e-9);
+  EXPECT_NEAR(field.global_max(), 25.0, 1e-9);
+}
+
+TEST(Transient, ConvergesToSteadyState) {
+  Rig rig = make_rig(0.5);
+  const auto steady = solve_steady_state(rig.mesh, rig.bcs);
+
+  TransientOptions options;
+  options.time_step = 5e-3;  // a few thermal time constants per step
+  TransientSolver solver(rig.mesh, rig.bcs, options);
+  solver.set_uniform_state(25.0);
+  const auto field = solver.advance(400);
+  EXPECT_NEAR(field.global_max(), steady.global_max(), 0.01);
+  EXPECT_NEAR(field.global_min(), steady.global_min(), 0.01);
+}
+
+TEST(Transient, MonotoneHeatingFromCold) {
+  Rig rig = make_rig(0.5);
+  TransientOptions options;
+  options.time_step = 1e-3;
+  TransientSolver solver(rig.mesh, rig.bcs, options);
+  solver.set_uniform_state(25.0);
+  double previous = 25.0;
+  for (int step = 0; step < 10; ++step) {
+    const double peak = solver.step().global_max();
+    EXPECT_GE(peak, previous - 1e-9);
+    previous = peak;
+  }
+  EXPECT_GT(previous, 25.0 + 1e-3);
+  EXPECT_NEAR(solver.time(), 10e-3, 1e-12);
+}
+
+TEST(Transient, CoolingAfterPowerOff) {
+  Rig rig = make_rig(0.5);
+  TransientOptions options;
+  options.time_step = 2e-3;
+  TransientSolver solver(rig.mesh, rig.bcs, options);
+  solver.set_state(solve_steady_state(rig.mesh, rig.bcs));
+  solver.set_power_scale(0.0);
+  const double hot = solver.state().global_max();
+  const double after = solver.advance(50).global_max();
+  EXPECT_LT(after, hot);
+  EXPECT_GE(after, 25.0 - 1e-9);
+}
+
+TEST(Transient, PowerScaleHalvesEquilibriumRise) {
+  Rig rig = make_rig(0.5);
+  TransientOptions options;
+  options.time_step = 10e-3;
+  TransientSolver full(rig.mesh, rig.bcs, options);
+  full.set_uniform_state(25.0);
+  TransientSolver half(rig.mesh, rig.bcs, options);
+  half.set_uniform_state(25.0);
+  half.set_power_scale(0.5);
+  const double rise_full = full.advance(300).global_max() - 25.0;
+  const double rise_half = half.advance(300).global_max() - 25.0;
+  EXPECT_NEAR(rise_half, rise_full / 2.0, 0.02 * rise_full);
+}
+
+TEST(Transient, Validation) {
+  Rig rig = make_rig(0.1);
+  TransientOptions options;
+  options.time_step = 0.0;
+  EXPECT_THROW(TransientSolver(rig.mesh, rig.bcs, options), Error);
+  options.time_step = 1e-3;
+  TransientSolver solver(rig.mesh, rig.bcs, options);
+  EXPECT_THROW(solver.set_power_scale(-1.0), Error);
+  EXPECT_THROW(solver.advance(0), Error);
+}
+
+}  // namespace
+}  // namespace photherm::thermal

@@ -1,0 +1,63 @@
+#include "math/tridiagonal.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace photherm::math {
+namespace {
+
+TEST(Tridiagonal, SolvesIdentity) {
+  const auto x = solve_tridiagonal({0, 0, 0}, {1, 1, 1}, {0, 0, 0}, {3, 4, 5});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  EXPECT_DOUBLE_EQ(x[2], 5.0);
+}
+
+TEST(Tridiagonal, SolvesLaplacianSystem) {
+  // A = tridiag(-1, 2, -1), x = [1, 2, 3] -> b = [0, 0, 4]
+  const auto x = solve_tridiagonal({0, -1, -1}, {2, 2, 2}, {-1, -1, 0}, {0, 0, 4});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Tridiagonal, SingleUnknown) {
+  const auto x = solve_tridiagonal({0}, {4}, {0}, {8});
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+}
+
+TEST(Tridiagonal, RejectsSizeMismatch) {
+  EXPECT_THROW(solve_tridiagonal({0}, {1, 1}, {0, 0}, {1, 1}), Error);
+}
+
+TEST(Tridiagonal, RejectsZeroPivot) {
+  EXPECT_THROW(solve_tridiagonal({0, 0}, {0, 1}, {0, 0}, {1, 1}), Error);
+}
+
+TEST(Tridiagonal, LargeSystemRoundTrip) {
+  const std::size_t n = 500;
+  std::vector<double> lower(n, -1.0), diag(n, 2.5), upper(n, -1.0);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = std::sin(static_cast<double>(i));
+  }
+  std::vector<double> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i] = diag[i] * x_true[i];
+    if (i > 0) {
+      rhs[i] += lower[i] * x_true[i - 1];
+    }
+    if (i + 1 < n) {
+      rhs[i] += upper[i] * x_true[i + 1];
+    }
+  }
+  const auto x = solve_tridiagonal(lower, diag, upper, rhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace photherm::math

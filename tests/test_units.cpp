@@ -1,0 +1,55 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace photherm {
+namespace {
+
+TEST(Units, LengthScalesCompose) {
+  EXPECT_DOUBLE_EQ(1000.0 * units::um, 1.0 * units::mm);
+  EXPECT_DOUBLE_EQ(10.0 * units::mm, 1.0 * units::cm);
+  EXPECT_DOUBLE_EQ(1e9 * units::nm, 1.0 * units::m);
+}
+
+TEST(Units, PowerScalesCompose) {
+  EXPECT_DOUBLE_EQ(1000.0 * units::uW, 1.0 * units::mW);
+  EXPECT_DOUBLE_EQ(1000.0 * units::mW, 1.0 * units::W);
+}
+
+TEST(Units, PhotonEnergyAt1550nm) {
+  // 1550 nm photon: ~0.8 eV.
+  const double ev = photon_energy(1550e-9) / constants::kElementaryCharge;
+  EXPECT_NEAR(ev, 0.80, 0.01);
+}
+
+TEST(Units, WattDbmRoundTrip) {
+  EXPECT_NEAR(watt_to_dbm(1e-3), 0.0, 1e-12);
+  EXPECT_NEAR(watt_to_dbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watt(-20.0), 1e-5, 1e-12);
+  for (double dbm : {-30.0, -3.0, 0.0, 10.0}) {
+    EXPECT_NEAR(watt_to_dbm(dbm_to_watt(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, DbLinearRoundTrip) {
+  EXPECT_NEAR(db_to_linear(3.0103), 0.5, 1e-4);
+  EXPECT_NEAR(linear_to_db(0.5), 3.0103, 1e-4);
+  EXPECT_DOUBLE_EQ(db_to_linear(0.0), 1.0);
+}
+
+TEST(Units, RatioDb) {
+  EXPECT_NEAR(ratio_db(10.0, 1.0), 10.0, 1e-12);
+  EXPECT_NEAR(ratio_db(1.0, 10.0), -10.0, 1e-12);
+}
+
+TEST(Units, InvalidInputsThrow) {
+  EXPECT_THROW(watt_to_dbm(0.0), Error);
+  EXPECT_THROW(watt_to_dbm(-1.0), Error);
+  EXPECT_THROW(linear_to_db(0.0), Error);
+  EXPECT_THROW(ratio_db(0.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace photherm
