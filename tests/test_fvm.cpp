@@ -3,29 +3,24 @@
 #include <gtest/gtest.h>
 
 #include "geometry/stack.hpp"
+#include "support/fixtures.hpp"
 #include "util/error.hpp"
 
 namespace photherm::thermal {
 namespace {
 
-using geometry::Block;
+using fixtures::add_heater;
+using fixtures::uniform_mesh_options;
+using fixtures::uniform_slab;
 using geometry::Box3;
 using geometry::Scene;
 
 /// Uniform silicon slab, area a x a, thickness t.
-Scene slab(double a, double t) {
-  Scene scene;
-  geometry::LayerStackBuilder stack(a, a);
-  stack.add_layer({"die", "silicon", t});
-  stack.emit(scene);
-  return scene;
-}
+Scene slab(double a, double t) { return uniform_slab(a, t); }
 
 TEST(Fvm, MatrixIsSymmetricSpd) {
   Scene scene = slab(1e-3, 200e-6);
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = 200e-6;
-  options.default_max_cell_z = 100e-6;
+  const auto options = uniform_mesh_options(200e-6, 100e-6);
   const auto mesh = mesh::RectilinearMesh::build(scene, options);
   BoundarySet bcs;
   bcs[Face::kZMax] = FaceBc::convection(1e4, 25.0);
@@ -40,16 +35,14 @@ TEST(Fvm, MatrixIsSymmetricSpd) {
 
 TEST(Fvm, AllAdiabaticRejected) {
   Scene scene = slab(1e-3, 200e-6);
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = 500e-6;
+  const auto options = uniform_mesh_options(500e-6);
   const auto mesh = mesh::RectilinearMesh::build(scene, options);
   EXPECT_THROW(assemble(mesh, BoundarySet::adiabatic()), Error);
 }
 
 TEST(Fvm, NoPowerGivesAmbientEverywhere) {
   Scene scene = slab(1e-3, 200e-6);
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = 250e-6;
+  const auto options = uniform_mesh_options(250e-6);
   BoundarySet bcs;
   bcs[Face::kZMax] = FaceBc::convection(5e3, 42.0);
   const auto field =
@@ -66,21 +59,16 @@ TEST(Fvm, UniformFluxMatches1dAnalytic) {
   const double t = 200e-6;
   const double power = 0.2;
   Scene scene = slab(a, t);
-  Block heat;
-  heat.name = "volumetric";
-  heat.box = Box3::make({0, 0, 0}, {a, a, t});
-  heat.material = scene.materials().id_of("silicon");
-  heat.power = power;
-  scene.add(std::move(heat));
+  add_heater(scene, Box3::make({0, 0, 0}, {a, a, t}), power, "silicon",
+             "volumetric");
 
   const double h = 2e4;
   const double t_inf = 30.0;
   BoundarySet bcs;
   bcs[Face::kZMax] = FaceBc::convection(h, t_inf);
 
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = a;  // 1-D column
-  options.default_max_cell_z = 2e-6;
+  // 1-D column in xy.
+  const auto options = uniform_mesh_options(a, 2e-6);
   const auto field =
       solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
 
@@ -102,19 +90,13 @@ TEST(Fvm, SeriesLayersMatchResistanceChain) {
   stack.add_layer({"si", "silicon", 100e-6});
   stack.add_layer({"ox", "silicon_dioxide", 20e-6});
   stack.emit(scene);
-  Block heat;
-  heat.name = "source";
-  heat.box = Box3::make({0, 0, 0}, {a, a, 10e-6});
-  heat.material = scene.materials().id_of("silicon");
-  heat.power = 0.1;
-  scene.add(std::move(heat));
+  add_heater(scene, Box3::make({0, 0, 0}, {a, a, 10e-6}), 0.1, "silicon",
+             "source");
 
   const double h = 1e4;
   BoundarySet bcs;
   bcs[Face::kZMax] = FaceBc::convection(h, 20.0);
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = a;
-  options.default_max_cell_z = 2e-6;
+  const auto options = uniform_mesh_options(a, 2e-6);
   const auto field =
       solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
 
@@ -130,21 +112,15 @@ TEST(Fvm, SeriesLayersMatchResistanceChain) {
 TEST(Fvm, EnergyBalance) {
   const double a = 1e-3;
   Scene scene = slab(a, 300e-6);
-  Block heat;
-  heat.name = "hotspot";
-  heat.box = Box3::make({a / 4, a / 4, 0}, {a / 2, a / 2, 50e-6});
-  heat.material = scene.materials().id_of("silicon");
-  heat.power = 0.75;
-  scene.add(std::move(heat));
+  add_heater(scene, Box3::make({a / 4, a / 4, 0}, {a / 2, a / 2, 50e-6}), 0.75,
+             "silicon", "hotspot");
 
   BoundarySet bcs;
   bcs[Face::kZMax] = FaceBc::convection(5e3, 25.0);
   bcs[Face::kZMin] = FaceBc::convection(100.0, 25.0);
   bcs[Face::kXMin] = FaceBc::dirichlet(25.0);
 
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = 100e-6;
-  options.default_max_cell_z = 50e-6;
+  const auto options = uniform_mesh_options(100e-6, 50e-6);
   const auto field =
       solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
   EXPECT_NEAR(boundary_heat_flow(field, bcs), 0.75, 1e-6);
@@ -154,9 +130,7 @@ TEST(Fvm, DirichletFaceIsRespected) {
   Scene scene = slab(1e-3, 200e-6);
   BoundarySet bcs;
   bcs[Face::kZMin] = FaceBc::dirichlet(77.0);
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = 250e-6;
-  options.default_max_cell_z = 20e-6;
+  const auto options = uniform_mesh_options(250e-6, 20e-6);
   const auto field =
       solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
   // No power: the whole slab relaxes to the wall temperature (up to the
@@ -170,9 +144,7 @@ TEST(Fvm, DirichletFieldVariesAlongFace) {
   BoundarySet bcs;
   bcs[Face::kZMin] = FaceBc::dirichlet_field(
       [](const geometry::Vec3& p) { return 20.0 + 1e4 * p.x; });  // 20..30 degC
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = 100e-6;
-  options.default_max_cell_z = 25e-6;
+  const auto options = uniform_mesh_options(100e-6, 25e-6);
   const auto field =
       solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
   const double left = field.at({0.05e-3, 0.5e-3, 0.0});
@@ -186,16 +158,12 @@ TEST(Fvm, HotterSourceGivesHotterField) {
   const double a = 1e-3;
   for (double power : {0.1, 0.2}) {
     Scene scene = slab(a, 200e-6);
-    Block heat;
-    heat.name = "h";
-    heat.box = Box3::make({a / 4, a / 4, 0}, {3 * a / 4, 3 * a / 4, 50e-6});
-    heat.material = scene.materials().id_of("silicon");
-    heat.power = power;
-    scene.add(std::move(heat));
+    add_heater(scene,
+               Box3::make({a / 4, a / 4, 0}, {3 * a / 4, 3 * a / 4, 50e-6}),
+               power);
     BoundarySet bcs;
     bcs[Face::kZMax] = FaceBc::convection(5e3, 25.0);
-    mesh::MeshOptions options;
-    options.default_max_cell_xy = 125e-6;
+    const auto options = uniform_mesh_options(125e-6);
     const auto field =
         solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
     // Linearity: peak rise doubles with power.

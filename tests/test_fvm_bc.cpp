@@ -4,37 +4,29 @@
 #include <gtest/gtest.h>
 
 #include "geometry/stack.hpp"
+#include "support/fixtures.hpp"
 #include "thermal/fvm.hpp"
 #include "util/error.hpp"
 
 namespace photherm::thermal {
 namespace {
 
-using geometry::Block;
 using geometry::Box3;
 using geometry::Scene;
 
 Scene cube(double a, double power) {
-  Scene scene;
-  geometry::LayerStackBuilder stack(a, a);
-  stack.add_layer({"body", "silicon", a});
-  stack.emit(scene);
+  Scene scene = fixtures::uniform_slab(a, a);
   if (power > 0.0) {
-    Block heat;
-    heat.name = "core";
-    heat.box = Box3::make({a / 4, a / 4, a / 4}, {3 * a / 4, 3 * a / 4, 3 * a / 4});
-    heat.material = scene.materials().id_of("silicon");
-    heat.power = power;
-    scene.add(std::move(heat));
+    fixtures::add_heater(
+        scene, Box3::make({a / 4, a / 4, a / 4}, {3 * a / 4, 3 * a / 4, 3 * a / 4}),
+        power, "silicon", "core");
   }
   return scene;
 }
 
 mesh::RectilinearMesh mesh_cube(const Scene& scene, double cell) {
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = cell;
-  options.default_max_cell_z = cell;
-  return mesh::RectilinearMesh::build(scene, options);
+  return mesh::RectilinearMesh::build(scene,
+                                      fixtures::uniform_mesh_options(cell, cell));
 }
 
 TEST(FvmBc, SideConvectionCoolsLaterally) {

@@ -4,21 +4,13 @@
 
 #include "core/design_space.hpp"
 #include "core/methodology.hpp"
+#include "support/fixtures.hpp"
 #include "util/error.hpp"
 
 namespace photherm::core {
 namespace {
 
-OnocDesignSpec coarse_spec() {
-  OnocDesignSpec spec;
-  spec.placement = OniPlacementMode::kRing;
-  spec.ring_case_id = 1;
-  spec.chip_power = 24.0;
-  spec.global_cell_xy = 3e-3;
-  spec.oni_cell_xy = 20e-6;
-  spec.oni_cell_z = 2e-6;
-  return spec;
-}
+OnocDesignSpec coarse_spec() { return fixtures::coarse_onoc_spec(); }
 
 TEST(Integration, ActivityOrderingMatchesPaper) {
   // Diagonal activity spreads the ONI temperatures more than uniform; the

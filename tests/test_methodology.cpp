@@ -3,21 +3,19 @@
 #include <gtest/gtest.h>
 
 #include "core/design_space.hpp"
+#include "support/fixtures.hpp"
 #include "util/error.hpp"
 
 namespace photherm::core {
 namespace {
 
-/// Coarse spec for test speed: 10 um ONI cells, 3 mm global cells.
+/// Coarse spec for test speed: the shared fixture spec with a slightly
+/// finer ONI mesh and the paper's nominal chip/VCSEL powers.
 OnocDesignSpec fast_spec() {
-  OnocDesignSpec spec;
-  spec.placement = OniPlacementMode::kRing;
-  spec.ring_case_id = 1;
+  OnocDesignSpec spec = fixtures::coarse_onoc_spec();
   spec.chip_power = 25.0;
   spec.p_vcsel = 3.6e-3;
-  spec.global_cell_xy = 3e-3;
   spec.oni_cell_xy = 15e-6;
-  spec.oni_cell_z = 2e-6;
   return spec;
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "geometry/stack.hpp"
+#include "support/fixtures.hpp"
 #include "thermal/fvm.hpp"
 #include "util/error.hpp"
 
@@ -16,14 +17,8 @@ using geometry::Scene;
 struct Rig {
   std::shared_ptr<const mesh::RectilinearMesh> mesh;
   Rig() {
-    Scene scene;
-    geometry::LayerStackBuilder stack(2e-3, 2e-3);
-    stack.add_layer({"die", "silicon", 100e-6});
-    stack.emit(scene);
-    mesh::MeshOptions options;
-    options.default_max_cell_xy = 1e-3;
-    mesh = std::make_shared<const mesh::RectilinearMesh>(
-        mesh::RectilinearMesh::build(scene, options));
+    const Scene scene = fixtures::uniform_slab(2e-3, 100e-6);
+    mesh = fixtures::shared_mesh(scene, fixtures::uniform_mesh_options(1e-3));
   }
 };
 

@@ -3,12 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "geometry/stack.hpp"
+#include "support/fixtures.hpp"
 #include "util/error.hpp"
 
 namespace photherm::thermal {
 namespace {
 
-using geometry::Block;
 using geometry::Box3;
 using geometry::Scene;
 
@@ -18,24 +18,15 @@ struct Rig {
 };
 
 Rig make_rig(double power) {
-  auto scene = std::make_shared<Scene>();
-  geometry::LayerStackBuilder stack(1e-3, 1e-3);
-  stack.add_layer({"die", "silicon", 200e-6});
-  stack.emit(*scene);
+  Scene scene = fixtures::uniform_slab(1e-3, 200e-6);
   if (power > 0.0) {
-    Block heat;
-    heat.name = "source";
-    heat.box = Box3::make({0.25e-3, 0.25e-3, 0}, {0.75e-3, 0.75e-3, 50e-6});
-    heat.material = scene->materials().id_of("silicon");
-    heat.power = power;
-    scene->add(std::move(heat));
+    fixtures::add_heater(
+        scene, Box3::make({0.25e-3, 0.25e-3, 0}, {0.75e-3, 0.75e-3, 50e-6}),
+        power, "silicon", "source");
   }
-  mesh::MeshOptions options;
-  options.default_max_cell_xy = 125e-6;
-  options.default_max_cell_z = 50e-6;
   Rig rig;
-  rig.mesh = std::make_shared<const mesh::RectilinearMesh>(
-      mesh::RectilinearMesh::build(*scene, options));
+  rig.mesh =
+      fixtures::shared_mesh(scene, fixtures::uniform_mesh_options(125e-6, 50e-6));
   rig.bcs[Face::kZMax] = FaceBc::convection(5e3, 25.0);
   return rig;
 }
