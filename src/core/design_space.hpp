@@ -23,10 +23,13 @@ struct AvgTemperaturePoint {
 };
 
 /// Sweep PVCSEL x Pchip at fixed heater ratio; evaluates the representative
-/// (most central) ONI.
+/// (most central) ONI. Grid points are solved concurrently per
+/// `sweep.threads` and returned in row-major (p_chip outer) order,
+/// bit-identical across thread counts.
 std::vector<AvgTemperaturePoint> sweep_vcsel_chip_power(const OnocDesignSpec& base,
                                                         const std::vector<double>& p_chip,
-                                                        const std::vector<double>& p_vcsel);
+                                                        const std::vector<double>& p_vcsel,
+                                                        const SweepOptions& sweep = {});
 
 /// One row of the Fig. 12 sweep.
 struct SnrSweepPoint {
@@ -40,9 +43,12 @@ struct SnrSweepPoint {
   double oni_t_max = 0.0;
 };
 
-/// Sweep the three ring cases across activities (Fig. 12).
+/// Sweep the three ring cases across activities (Fig. 12). Scenario solves
+/// run concurrently per `sweep.threads`; row order (activity outer, case
+/// inner) and values are independent of the thread count.
 std::vector<SnrSweepPoint> sweep_snr(const OnocDesignSpec& base,
                                      const std::vector<int>& ring_cases,
-                                     const std::vector<power::ActivityKind>& activities);
+                                     const std::vector<power::ActivityKind>& activities,
+                                     const SweepOptions& sweep = {});
 
 }  // namespace photherm::core

@@ -7,6 +7,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace photherm::core {
 
@@ -249,10 +250,10 @@ DesignReport ThermalAwareDesigner::run() const {
 }
 
 std::vector<HeaterSweepPoint> explore_heater_ratios(const OnocDesignSpec& base,
-                                                    const std::vector<double>& ratios) {
+                                                    const std::vector<double>& ratios,
+                                                    const SweepOptions& sweep_options) {
   PH_REQUIRE(!ratios.empty(), "no heater ratios to explore");
-  std::vector<HeaterSweepPoint> sweep;
-  sweep.reserve(ratios.size());
+  std::vector<HeaterSweepPoint> sweep(ratios.size());
 
   // Representative interface: the one closest to the die centre.
   const ThermalAwareDesigner probe(base);
@@ -271,19 +272,27 @@ std::vector<HeaterSweepPoint> explore_heater_ratios(const OnocDesignSpec& base,
     }
   }
 
-  for (double ratio : ratios) {
-    OnocDesignSpec spec = base;
-    spec.heater_ratio = ratio;
-    const ThermalAwareDesigner designer(spec);
-    const ThermalReport thermal = designer.evaluate_thermal(representative);
-    HeaterSweepPoint point;
-    point.heater_ratio = ratio;
-    point.p_heater = spec.p_heater();
-    point.gradient = thermal.onis.front().gradient;
-    point.oni_average = thermal.onis.front().average;
-    sweep.push_back(point);
-    PH_LOG_DEBUG << "heater ratio " << ratio << ": gradient " << point.gradient << " degC";
-  }
+  // Each ratio is an independent steady-state solve; results land at their
+  // ratio's index, so order and values do not depend on the thread count.
+  util::parallel_for(
+      ratios.size(), 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          OnocDesignSpec spec = base;
+          spec.heater_ratio = ratios[idx];
+          const ThermalAwareDesigner designer(spec);
+          const ThermalReport thermal = designer.evaluate_thermal(representative);
+          HeaterSweepPoint point;
+          point.heater_ratio = ratios[idx];
+          point.p_heater = spec.p_heater();
+          point.gradient = thermal.onis.front().gradient;
+          point.oni_average = thermal.onis.front().average;
+          sweep[idx] = point;
+          PH_LOG_DEBUG << "heater ratio " << point.heater_ratio << ": gradient " << point.gradient
+                       << " degC";
+        }
+      },
+      sweep_options.threads);
   return sweep;
 }
 

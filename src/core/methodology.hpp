@@ -16,6 +16,15 @@
 
 namespace photherm::core {
 
+/// Options shared by the design-space sweep engines. Scenario solves of a
+/// sweep are independent, so they dispatch onto the shared thread pool
+/// (util/thread_pool.hpp) and are collected in index order: results are
+/// bit-identical for every thread count, including 1.
+struct SweepOptions {
+  /// Concurrent scenario solves. 0 = util::concurrency(); 1 = serial.
+  std::size_t threads = 0;
+};
+
 /// Thermal summary of one ONI.
 struct OniThermalReport {
   int oni = 0;
@@ -100,7 +109,8 @@ struct HeaterSweepPoint {
 };
 
 std::vector<HeaterSweepPoint> explore_heater_ratios(const OnocDesignSpec& base,
-                                                    const std::vector<double>& ratios);
+                                                    const std::vector<double>& ratios,
+                                                    const SweepOptions& sweep = {});
 
 /// Pick the sweep point with the smallest gradient.
 const HeaterSweepPoint& best_heater_point(const std::vector<HeaterSweepPoint>& sweep);

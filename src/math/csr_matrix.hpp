@@ -54,9 +54,12 @@ class CsrMatrix {
   const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
 
-  /// y = A * x
-  void multiply(const Vector& x, Vector& y) const;
-  Vector multiply(const Vector& x) const;
+  /// y = A * x. Rows are computed independently (each writes one y entry),
+  /// so the result is bit-identical for every thread count; matrices below
+  /// `util::kSerialCutoff` rows stay serial. `threads == 0` means
+  /// `util::concurrency()`.
+  void multiply(const Vector& x, Vector& y, std::size_t threads = 0) const;
+  Vector multiply(const Vector& x, std::size_t threads = 0) const;
 
   /// Value at (row, col); zero if not stored. O(log nnz_row).
   double at(std::size_t row, std::size_t col) const;

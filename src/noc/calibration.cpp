@@ -1,9 +1,12 @@
 #include "noc/calibration.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace photherm::noc {
 
@@ -32,34 +35,56 @@ RingTrim trim_for_misalignment(double misalignment, const CalibrationParams& par
 
 namespace {
 CalibrationPlan plan_from_misalignments(const std::vector<double>& misalignments,
-                                        const CalibrationParams& params) {
+                                        const CalibrationParams& params,
+                                        std::size_t threads) {
+  const std::size_t n = misalignments.size();
   CalibrationPlan plan;
-  plan.trims.reserve(misalignments.size());
-  for (double m : misalignments) {
-    plan.trims.push_back(trim_for_misalignment(m, params));
-    plan.total_power += plan.trims.back().power;
-    if (plan.trims.back().uses_heater) {
-      ++plan.heater_count;
-    }
-  }
+  plan.trims.resize(n);
+  // Trims are independent; the power/heater totals come out of the
+  // chunk-ordered reduction, so the plan is bit-identical for every thread
+  // count.
+  using Totals = std::pair<double, std::size_t>;
+  const auto [total_power, heater_count] = util::parallel_reduce(
+      n, util::kKernelGrain, Totals{0.0, 0},
+      [&](std::size_t begin, std::size_t end) {
+        Totals t{0.0, 0};
+        for (std::size_t i = begin; i < end; ++i) {
+          plan.trims[i] = trim_for_misalignment(misalignments[i], params);
+          t.first += plan.trims[i].power;
+          t.second += plan.trims[i].uses_heater ? 1 : 0;
+        }
+        return t;
+      },
+      [](Totals acc, const Totals& t) {
+        acc.first += t.first;
+        acc.second += t.second;
+        return acc;
+      },
+      threads);
+  plan.total_power = total_power;
+  plan.heater_count = heater_count;
   return plan;
 }
 }  // namespace
 
 CalibrationPlan per_ring_plan(const std::vector<double>& ring_temperature_errors,
-                              const CalibrationParams& params) {
+                              const CalibrationParams& params, std::size_t threads) {
   PH_REQUIRE(!ring_temperature_errors.empty(), "no rings to calibrate");
-  std::vector<double> misalignments;
-  misalignments.reserve(ring_temperature_errors.size());
-  for (double dt : ring_temperature_errors) {
-    misalignments.push_back(dt * params.thermal_sensitivity);
-  }
-  return plan_from_misalignments(misalignments, params);
+  std::vector<double> misalignments(ring_temperature_errors.size());
+  util::parallel_for(
+      ring_temperature_errors.size(), util::kKernelGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          misalignments[i] = ring_temperature_errors[i] * params.thermal_sensitivity;
+        }
+      },
+      threads);
+  return plan_from_misalignments(misalignments, params, threads);
 }
 
 ClusteredPlan clustered_plan(const std::vector<double>& ring_temperature_errors,
                              const std::vector<std::size_t>& cluster_of,
-                             const CalibrationParams& params) {
+                             const CalibrationParams& params, std::size_t threads) {
   PH_REQUIRE(ring_temperature_errors.size() == cluster_of.size(),
              "one cluster id per ring required");
   PH_REQUIRE(!ring_temperature_errors.empty(), "no rings to calibrate");
@@ -81,13 +106,19 @@ ClusteredPlan clustered_plan(const std::vector<double>& ring_temperature_errors,
   }
 
   ClusteredPlan result;
-  result.plan = plan_from_misalignments(cluster_misalignments, params);
-  for (std::size_t i = 0; i < cluster_of.size(); ++i) {
-    const double residual_dt =
-        std::abs(ring_temperature_errors[i] - cluster_mean[cluster_of[i]]);
-    result.worst_residual =
-        std::max(result.worst_residual, residual_dt * params.thermal_sensitivity);
-  }
+  result.plan = plan_from_misalignments(cluster_misalignments, params, threads);
+  result.worst_residual = util::parallel_reduce(
+      cluster_of.size(), util::kKernelGrain, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double worst = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double residual_dt =
+              std::abs(ring_temperature_errors[i] - cluster_mean.at(cluster_of[i]));
+          worst = std::max(worst, residual_dt * params.thermal_sensitivity);
+        }
+        return worst;
+      },
+      [](double acc, double w) { return std::max(acc, w); }, threads);
   return result;
 }
 

@@ -42,9 +42,13 @@ struct CalibrationPlan {
   std::size_t heater_count = 0;  ///< rings needing red (heat) tuning
 };
 
-/// Per-ring calibration: each ring gets its own trim.
+/// Per-ring calibration: each ring gets its own trim. Rings are trimmed
+/// independently, so network-scale plans (Corona: ~1.1e6 MRs) are computed
+/// on the shared thread pool; `threads == 0` means `util::concurrency()`,
+/// and the plan (order, powers, totals) is bit-identical for every thread
+/// count.
 CalibrationPlan per_ring_plan(const std::vector<double>& ring_temperature_errors,
-                              const CalibrationParams& params);
+                              const CalibrationParams& params, std::size_t threads = 0);
 
 /// Clustered calibration: rings are grouped (e.g. one cluster per ONI) and
 /// each cluster is trimmed by its *mean* error; the residual within-cluster
@@ -55,9 +59,11 @@ struct ClusteredPlan {
   double worst_residual = 0.0;      ///< largest |error - cluster mean| [m]
 };
 
+/// Deterministically parallel like `per_ring_plan` (the residual scan is a
+/// max-reduction, which is order-independent).
 ClusteredPlan clustered_plan(const std::vector<double>& ring_temperature_errors,
                              const std::vector<std::size_t>& cluster_of,
-                             const CalibrationParams& params);
+                             const CalibrationParams& params, std::size_t threads = 0);
 
 /// The Sec. III-B headline: estimated calibration power for `ring_count`
 /// rings with a typical absolute misalignment `typical_misalignment` [m]

@@ -15,7 +15,12 @@ namespace photherm::thermal {
 struct TransientOptions {
   double time_step = 1e-3;  ///< [s]
   math::SolverOptions solver;
-  TransientOptions() { solver.rel_tolerance = 1e-10; }
+  TransientOptions() {
+    solver.rel_tolerance = 1e-10;
+    // Warm-started per-step solves: same explicit recursive-vs-true residual
+    // slack as SteadyStateOptions (see fvm.hpp).
+    solver.convergence_slack = 10.0;
+  }
 };
 
 /// Steps T(t) forward with backward Euler:

@@ -1,0 +1,242 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace photherm::util {
+
+namespace {
+
+std::atomic<std::size_t> g_concurrency_override{0};
+
+std::size_t default_concurrency() {
+  if (const char* env = std::getenv("PHOTHERM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+/// Set while a thread is executing pool work; nested parallel regions run
+/// inline on it instead of waiting on the pool (which could deadlock).
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+std::size_t concurrency() {
+  const std::size_t forced = g_concurrency_override.load(std::memory_order_relaxed);
+  const std::size_t resolved = forced > 0 ? forced : default_concurrency();
+  return resolved < kMaxThreads ? resolved : kMaxThreads;
+}
+
+void set_concurrency(std::size_t threads) {
+  g_concurrency_override.store(threads, std::memory_order_relaxed);
+}
+
+struct ThreadPool::Impl {
+  /// One parallel region. Workers pull chunk indices from `next` until it
+  /// passes `count`; the caller waits until `done == count`.
+  struct Job {
+    std::function<void(std::size_t)> fn;
+    std::size_t count = 0;
+    std::size_t max_extra_workers = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> claimed{0};
+    std::mutex wait_mutex;
+    std::condition_variable done_cv;
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    void execute_chunks() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) {
+          return;
+        }
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) {
+            error = std::current_exception();
+          }
+        }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+          std::lock_guard<std::mutex> lock(wait_mutex);
+          done_cv.notify_all();
+        }
+      }
+    }
+  };
+
+  std::mutex mutex;
+  std::condition_variable job_cv;
+  std::vector<std::thread> workers;
+  std::shared_ptr<Job> job;  ///< current region, null when idle
+  std::uint64_t job_seq = 0;
+  bool stop = false;
+
+  void worker_loop(std::uint64_t start_seq) {
+    std::uint64_t seen = start_seq;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      job_cv.wait(lock, [&] { return stop || job_seq != seen; });
+      if (stop) {
+        return;
+      }
+      seen = job_seq;
+      std::shared_ptr<Job> current = job;
+      lock.unlock();
+      if (current &&
+          current->claimed.fetch_add(1, std::memory_order_relaxed) < current->max_extra_workers) {
+        t_in_pool_worker = true;
+        current->execute_chunks();
+        t_in_pool_worker = false;
+      }
+      lock.lock();
+    }
+  }
+
+  void spawn_locked(std::size_t how_many) {
+    for (std::size_t i = 0; i < how_many; ++i) {
+      workers.emplace_back([this, seq = job_seq] { worker_loop(seq); });
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t thread_count) : impl_(new Impl) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->spawn_locked(thread_count);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->job_cv.notify_all();
+  for (std::thread& worker : impl_->workers) {
+    worker.join();
+  }
+  delete impl_;
+}
+
+std::size_t ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->workers.size();
+}
+
+void ThreadPool::ensure_size(std::size_t thread_count) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (thread_count > impl_->workers.size()) {
+    impl_->spawn_locked(thread_count - impl_->workers.size());
+  }
+}
+
+void ThreadPool::run(std::size_t chunk_count, std::size_t max_threads,
+                     const std::function<void(std::size_t)>& chunk_fn) {
+  if (chunk_count == 0) {
+    return;
+  }
+  if (max_threads == 0) {
+    max_threads = concurrency();
+  }
+  max_threads = std::min(max_threads, kMaxThreads);
+  // Serial paths: a single chunk, a single-thread request, or a nested call
+  // from a worker (re-entering the pool from a worker could deadlock).
+  if (chunk_count == 1 || max_threads <= 1 || t_in_pool_worker) {
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      chunk_fn(i);
+    }
+    return;
+  }
+
+  // More executors than chunks would spawn persistent workers (the pool
+  // never shrinks) that can never receive work.
+  const std::size_t executors = std::min(max_threads, chunk_count);
+  ensure_size(executors - 1);
+  auto job = std::make_shared<Impl::Job>();
+  job->fn = chunk_fn;
+  job->count = chunk_count;
+  job->max_extra_workers = executors - 1;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->job_seq;
+  }
+  impl_->job_cv.notify_all();
+
+  // The caller is an executor too, and counts as a pool worker while it
+  // drains chunks: a nested parallel region issued from its chunk must run
+  // inline (like it would on any other worker) instead of re-entering the
+  // pool and displacing this job from the single job slot.
+  t_in_pool_worker = true;
+  job->execute_chunks();
+  t_in_pool_worker = false;
+
+  {
+    std::unique_lock<std::mutex> lock(job->wait_mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->count;
+    });
+  }
+  {
+    // Detach the finished job so late-waking workers see an exhausted
+    // region at most (next > count) and do no work.
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->job == job) {
+      impl_->job = nullptr;
+    }
+  }
+  if (job->error) {
+    std::rethrow_exception(job->error);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(concurrency() > 0 ? concurrency() - 1 : 0);
+  return pool;
+}
+
+void parallel_for(std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t threads) {
+  if (count == 0) {
+    return;
+  }
+  PH_REQUIRE(grain > 0, "parallel_for: grain must be positive");
+  if (threads == 0) {
+    threads = concurrency();
+  }
+  const std::size_t chunks = (count + grain - 1) / grain;
+  auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * grain;
+    const std::size_t end = begin + grain < count ? begin + grain : count;
+    body(begin, end);
+  };
+  if (chunks == 1 || threads <= 1 || t_in_pool_worker) {
+    // Same chunk boundaries as the parallel path so reductions that key off
+    // chunk indices stay bit-identical across thread counts.
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      run_chunk(chunk);
+    }
+    return;
+  }
+  ThreadPool::shared().run(chunks, threads, run_chunk);
+}
+
+}  // namespace photherm::util

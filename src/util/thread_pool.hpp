@@ -1,0 +1,129 @@
+/// \file thread_pool.hpp
+/// \brief Shared thread pool and deterministic parallel-for.
+///
+/// The sweep engines (design-space grids, calibration plans) and the math
+/// kernels (SpMV, vector ops) dispatch onto one process-wide pool. Two
+/// properties are guaranteed:
+///
+///  1. **Determinism.** `parallel_for` always partitions the index range
+///     into the same chunks for a given (range, grain) pair, independent of
+///     how many threads execute them. Element-wise kernels write disjoint
+///     ranges, and reductions accumulate per-chunk partials that are summed
+///     in chunk order, so every result is bit-identical at 1, 2 or N
+///     threads (and identical to the serial code path).
+///  2. **No nested oversubscription.** A `parallel_for` issued from inside
+///     a pool worker (e.g. an SpMV inside a parallel sweep task) runs
+///     inline on the calling worker instead of re-entering the pool.
+///
+/// The pool is work-stealing-free by design: chunks are handed out from a
+/// single atomic cursor, which is cheap at the grain sizes used here and
+/// keeps the scheduler trivially auditable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace photherm::util {
+
+/// Hard ceiling on pool workers. Requests beyond it (a typo'd
+/// `PHOTHERM_THREADS=100000`, a huge `threads` option) are clamped instead
+/// of spawning OS threads until creation fails.
+inline constexpr std::size_t kMaxThreads = 256;
+
+/// Process-wide concurrency knob. Resolution order: the value set by
+/// `set_concurrency` (if non-zero), else the `PHOTHERM_THREADS` environment
+/// variable (if set and positive), else `std::thread::hardware_concurrency`.
+/// Always at least 1, at most `kMaxThreads`.
+std::size_t concurrency();
+
+/// Override the concurrency knob for this process (0 restores the
+/// environment/hardware default). Thread counts above the hardware level
+/// are honoured up to `kMaxThreads` (useful for oversubscription tests).
+void set_concurrency(std::size_t threads);
+
+/// Fixed-size pool of persistent workers. Most callers should use the free
+/// function `parallel_for` on the shared pool instead of instantiating one.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t thread_count);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (the caller of `run` participates as
+  /// one extra executor, so effective parallelism is `size() + 1`).
+  std::size_t size() const;
+
+  /// Execute `chunk_fn(0) .. chunk_fn(chunk_count - 1)`, each exactly once,
+  /// across at most `max_threads` executors (including the caller). Blocks
+  /// until every chunk finished. The first exception thrown by a chunk is
+  /// rethrown on the caller after all chunks complete or drain. Calls from
+  /// inside a pool worker run inline (serially) on that worker.
+  ///
+  /// The pool holds a single job slot: results stay correct if two
+  /// application threads issue top-level regions concurrently (each caller
+  /// always drains its own job's cursor), but the later region takes the
+  /// workers and the earlier one degrades towards serial. Issue concurrent
+  /// regions from one thread at a time — parallelism belongs inside a
+  /// region, not across regions.
+  void run(std::size_t chunk_count, std::size_t max_threads,
+           const std::function<void(std::size_t)>& chunk_fn);
+
+  /// The process-wide pool used by `parallel_for`. Created on first use
+  /// with `concurrency() - 1` workers and grown on demand, never shrunk.
+  static ThreadPool& shared();
+
+  /// Grow the pool to at least `thread_count` workers (no-op if smaller).
+  void ensure_size(std::size_t thread_count);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Deterministic chunked parallel loop over `[0, count)` on the shared
+/// pool. `body(begin, end)` is invoked once per chunk of at most `grain`
+/// consecutive indices; chunk boundaries depend only on `count` and
+/// `grain`, never on `threads`, so per-chunk reductions are reproducible
+/// across thread counts. `threads == 0` means `concurrency()`; `1` runs
+/// serially without touching the pool (same chunk boundaries).
+void parallel_for(std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t threads = 0);
+
+/// Deterministic chunked reduction over `[0, count)`: `chunk_fn(begin, end)`
+/// produces one partial per chunk (chunk boundaries as in `parallel_for`),
+/// and the partials are folded with `combine` in chunk order starting from
+/// `init`. Because neither the chunking nor the combine order depends on the
+/// thread count, the result is bit-identical at 1, 2 or N threads. This is
+/// the one place the chunk-index bookkeeping lives; the reductions in the
+/// math kernels and calibration plans all go through it.
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(std::size_t count, std::size_t grain, T init, const ChunkFn& chunk_fn,
+                  const CombineFn& combine, std::size_t threads = 0) {
+  if (count == 0) {
+    return init;
+  }
+  std::vector<T> partial((count + grain - 1) / grain);
+  parallel_for(
+      count, grain,
+      [&](std::size_t begin, std::size_t end) { partial[begin / grain] = chunk_fn(begin, end); },
+      threads);
+  T acc = init;
+  for (const T& p : partial) {
+    acc = combine(acc, p);
+  }
+  return acc;
+}
+
+/// Below this many elements the math kernels (SpMV, dot, axpy) stay on the
+/// straight serial code path: small meshes must not pay scheduling
+/// overhead. Chunked reductions switch on at the same size so the summation
+/// order is a function of problem size only.
+inline constexpr std::size_t kSerialCutoff = 16384;
+
+/// Elements per chunk for the math kernels once they go parallel.
+inline constexpr std::size_t kKernelGrain = 8192;
+
+}  // namespace photherm::util

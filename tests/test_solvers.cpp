@@ -158,5 +158,199 @@ TEST(Solvers, WarmStartReducesIterations) {
   EXPECT_LT(warm_result.iterations, cold_result.iterations);
 }
 
+// --- Regression tests for the convergence-reporting bugfixes. ---------------
+
+/// Find an (iteration budget, tolerance) pair for which the solver runs its
+/// full budget (no early inner-loop exit) and lands with a true residual
+/// strictly between `tol` and `10 * tol`. Probes the deterministic residual
+/// trajectory, then verifies each candidate by re-running with the
+/// candidate tolerance. Returns (budget, tolerance); budget == 0 if no such
+/// pair exists.
+template <typename Solver>
+std::pair<std::size_t, double> find_mid_window_budget(Solver&& solve, SolverOptions options) {
+  options.throw_on_failure = false;
+  for (std::size_t budget = 1; budget <= 120; ++budget) {
+    options.max_iterations = budget;
+    options.rel_tolerance = 1e-14;
+    Vector probe_x;
+    const double res = solve(probe_x, options).relative_residual;
+    if (res <= 1e-10) {
+      continue;  // too close to the rounding floor to split into a window
+    }
+    const double tol = res / 2.0;
+    options.rel_tolerance = tol;
+    Vector x;
+    const SolverResult mid = solve(x, options);
+    if (mid.iterations == budget && mid.relative_residual > tol &&
+        mid.relative_residual < 10.0 * tol) {
+      return {budget, tol};
+    }
+  }
+  return {0, 0.0};
+}
+
+/// `converged` must be judged against the tolerance the caller requested,
+/// not a silent 10x loosening: a residual landing strictly between `tol`
+/// and `10 * tol` is NOT converged.
+TEST(Solvers, ResidualBetweenTolAndTenTolIsNotConverged) {
+  const std::size_t n = 100;
+  const CsrMatrix a = laplacian(n);
+  const Vector b(n, 1.0);
+
+  SolverOptions options;
+  options.preconditioner = PreconditionerKind::kJacobi;
+  const auto solve = [&](Vector& x, const SolverOptions& opts) {
+    return conjugate_gradient(a, b, x, opts);
+  };
+  const auto [budget, tolerance] = find_mid_window_budget(solve, options);
+  ASSERT_GT(budget, 0u) << "no suitable trajectory point found";
+
+  // Stop at that budget with a tolerance the run misses by less than 10x:
+  // the result lands between tol and 10 * tol. The old code declared this
+  // converged.
+  options.max_iterations = budget;
+  options.rel_tolerance = tolerance;
+  options.throw_on_failure = false;
+  Vector x;
+  const SolverResult mid = conjugate_gradient(a, b, x, options);
+  ASSERT_GT(mid.relative_residual, options.rel_tolerance);
+  ASSERT_LT(mid.relative_residual, 10.0 * options.rel_tolerance);
+  EXPECT_FALSE(mid.converged);
+
+  // And with throw_on_failure it must actually throw.
+  options.throw_on_failure = true;
+  x.clear();
+  EXPECT_THROW(conjugate_gradient(a, b, x, options), SolverError);
+
+  // Callers that want the old acceptance window must now ask for it.
+  options.throw_on_failure = false;
+  options.convergence_slack = 10.0;
+  x.clear();
+  EXPECT_TRUE(conjugate_gradient(a, b, x, options).converged);
+}
+
+TEST(Solvers, BicgstabAlsoReportsAgainstRequestedTolerance) {
+  const std::size_t n = 80;
+  const CsrMatrix a = nonsymmetric(n);
+  const Vector b(n, 1.0);
+  SolverOptions options;
+  options.preconditioner = PreconditionerKind::kJacobi;
+  const auto solve = [&](Vector& x, const SolverOptions& opts) {
+    return bicgstab(a, b, x, opts);
+  };
+  const auto [budget, tolerance] = find_mid_window_budget(solve, options);
+  ASSERT_GT(budget, 0u) << "no suitable trajectory point found";
+
+  options.max_iterations = budget;
+  options.rel_tolerance = tolerance;
+  options.throw_on_failure = false;
+  Vector x;
+  const SolverResult mid = bicgstab(a, b, x, options);
+  ASSERT_GT(mid.relative_residual, options.rel_tolerance);
+  ASSERT_LT(mid.relative_residual, 10.0 * options.rel_tolerance);
+  EXPECT_FALSE(mid.converged);
+}
+
+/// A stale vector of the wrong size must not leak into the initial guess:
+/// the solve must match a cold (zero-guess) start bit for bit.
+TEST(Solvers, WrongSizedWarmStartIsResetToZero) {
+  const std::size_t n = 120;
+  const CsrMatrix a = laplacian(n);
+  const Vector b(n, 1.0);
+
+  Vector cold;
+  const SolverResult cold_result = conjugate_gradient(a, b, cold);
+
+  Vector stale(n + 37, 1e30);  // wrong size, garbage values
+  const SolverResult stale_result = conjugate_gradient(a, b, stale);
+  EXPECT_EQ(stale_result.iterations, cold_result.iterations);
+  ASSERT_EQ(stale.size(), n);
+  EXPECT_EQ(stale, cold);
+
+  Vector undersized(3, 1e30);
+  const SolverResult undersized_result = conjugate_gradient(a, b, undersized);
+  EXPECT_EQ(undersized_result.iterations, cold_result.iterations);
+  EXPECT_EQ(undersized, cold);
+
+  // Same contract for BiCGSTAB and Gauss-Seidel.
+  Vector gs_cold, gs_stale(n + 5, -1e12);
+  SolverOptions gs_options;
+  gs_options.rel_tolerance = 1e-8;
+  gs_options.max_iterations = 500000;
+  gauss_seidel(a, b, gs_cold, gs_options);
+  gauss_seidel(a, b, gs_stale, gs_options);
+  EXPECT_EQ(gs_stale, gs_cold);
+
+  Vector bi_cold, bi_stale(n + 11, 7e22);
+  const CsrMatrix an = nonsymmetric(n);
+  bicgstab(an, b, bi_cold);
+  bicgstab(an, b, bi_stale);
+  EXPECT_EQ(bi_stale, bi_cold);
+}
+
+/// A correctly sized vector IS the initial guess (documented warm-start
+/// contract): starting at the exact solution must converge immediately.
+TEST(Solvers, CorrectlySizedVectorIsUsedAsGuess) {
+  const std::size_t n = 150;
+  const CsrMatrix a = laplacian(n);
+  Vector x_true(n);
+  Rng rng(11);
+  for (double& v : x_true) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const Vector b = a.multiply(x_true);
+  Vector x = x_true;
+  const SolverResult result = conjugate_gradient(a, b, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+/// Gauss-Seidel used to check the true residual only every 10th sweep, so
+/// it could run up to 9 sweeps past convergence and report the inflated
+/// count. The reported count must now be minimal: re-running with exactly
+/// that budget converges, with a couple fewer sweeps it does not.
+TEST(Solvers, GaussSeidelReportsMinimalIterationCount) {
+  const std::size_t n = 40;
+  const CsrMatrix a = laplacian(n);
+  const Vector b(n, 1.0);
+  SolverOptions options;
+  options.rel_tolerance = 1e-8;
+  options.max_iterations = 500000;
+  Vector x;
+  const SolverResult result = gauss_seidel(a, b, x, options);
+  ASSERT_TRUE(result.converged);
+  ASSERT_GT(result.iterations, 20u);  // slow enough to be meaningful
+  EXPECT_LE(result.iterations, options.max_iterations);
+
+  // Exactly the reported budget: converges.
+  options.max_iterations = result.iterations;
+  Vector x_exact;
+  EXPECT_TRUE(gauss_seidel(a, b, x_exact, options).converged);
+
+  // Two sweeps fewer: must fall short (GS on the Laplacian converges
+  // slowly, so the residual cannot jump below tol two sweeps early).
+  options.max_iterations = result.iterations - 2;
+  options.throw_on_failure = false;
+  Vector x_short;
+  EXPECT_FALSE(gauss_seidel(a, b, x_short, options).converged);
+}
+
+/// The sweep budget is respected exactly and the reported count is clamped
+/// to it, even when `max_iterations` is not a multiple of the periodic
+/// residual-check interval.
+TEST(Solvers, GaussSeidelRespectsMaxIterationsBudget) {
+  const std::size_t n = 60;
+  const CsrMatrix a = laplacian(n);
+  const Vector b(n, 1.0);
+  SolverOptions options;
+  options.rel_tolerance = 1e-12;
+  options.max_iterations = 17;  // not a multiple of 10
+  options.throw_on_failure = false;
+  Vector x;
+  const SolverResult result = gauss_seidel(a, b, x, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 17u);
+}
+
 }  // namespace
 }  // namespace photherm::math
