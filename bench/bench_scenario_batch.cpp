@@ -1,0 +1,92 @@
+/// Throughput of the scenario batch runner with the coarse-solve cache off
+/// vs on. The suite is the builtin "corners" suite (traffic patterns,
+/// ambient corners, WDM ladder): the WDM-ladder scenarios differ only in
+/// SNR knobs, so with the cache on they share one coarse global solve —
+/// the ROADMAP's "share the coarse global solve across sweep points" item.
+/// Verifies that cached results reproduce the cold solves bit for bit and
+/// reports scenarios/sec plus the cache hit rate. PHOTHERM_FAST=1 drops to
+/// the 4-scenario smoke suite.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "scenario/batch_runner.hpp"
+#include "scenario/registry.hpp"
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace photherm;
+  using Clock = std::chrono::steady_clock;
+  const bool fast = std::getenv("PHOTHERM_FAST") != nullptr;
+
+  const std::string suite_name = fast ? "smoke" : "corners";
+  auto suite = scenario::builtin_suite(suite_name);
+  if (fast) {
+    // The smoke suite's traffic patterns are all thermally distinct; append
+    // a WDM ladder on the uniform scenario so the cache has shareable work.
+    scenario::FamilySpec wdm;
+    wdm.family = "wdm_ladder";
+    wdm.base = suite.front();
+    for (scenario::ScenarioSpec& s : scenario::expand_family(wdm)) {
+      suite.push_back(std::move(s));
+    }
+  }
+  std::cout << "scenario batch throughput: builtin:" << suite_name << " ("
+            << suite.size() << " scenarios), " << util::concurrency() << " threads\n\n";
+
+  Table table({"configuration", "wall time (s)", "scenarios/s", "global solves",
+               "cache hits", "hit rate", "bit-identical"});
+
+  // Reference: serial and cold. The other configurations must reproduce its
+  // CSV bit for bit — across the cache dimension *and* the thread count.
+  struct Config {
+    const char* label;
+    std::size_t threads;
+    bool cached;
+  };
+  const Config configs[] = {
+      {"1 thread, cache off", 1, false},
+      {"N threads, cache off", 0, false},
+      {"N threads, cache on", 0, true},
+  };
+
+  std::string reference_csv;
+  std::size_t hits_with_cache = 0;
+  for (const Config& config : configs) {
+    scenario::BatchOptions options;
+    options.threads = config.threads;
+    options.share_global_solves = config.cached;
+    const auto start = Clock::now();
+    const scenario::BatchResult result = scenario::BatchRunner(options).run(suite);
+    const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+    const std::string csv = scenario::batch_table(suite, result).to_csv();
+    if (reference_csv.empty()) {
+      reference_csv = csv;
+    }
+    const bool identical = csv == reference_csv;
+    if (config.cached) {
+      hits_with_cache = result.stats.cache_hits;
+    }
+    const double n = static_cast<double>(suite.size());
+    table.add_row({std::string(config.label), seconds, seconds > 0.0 ? n / seconds : 0.0,
+                   static_cast<double>(result.stats.global_solves),
+                   static_cast<double>(result.stats.cache_hits),
+                   static_cast<double>(result.stats.cache_hits) / n,
+                   std::string(identical ? "yes" : "NO")});
+    if (!identical) {
+      std::cerr << "FAIL: `" << config.label << "` differs from the serial cold run\n";
+      return 1;
+    }
+  }
+  if (hits_with_cache == 0) {
+    std::cerr << "FAIL: the suite produced no shared-solve cache hits\n";
+    return 1;
+  }
+  print_table(std::cout, "batch runner: thread counts x coarse-solve cache", table);
+  std::cout << "\ncached coarse fields are bit-identical to cold solves; the speedup is\n"
+               "the shared global solves plus whatever parallelism the cores allow\n";
+  return 0;
+}

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ios>
 #include <limits>
+#include <ostream>
+#include <sstream>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -54,9 +57,7 @@ bool DesignReport::links_ok() const {
 }
 
 ThermalAwareDesigner::ThermalAwareDesigner(OnocDesignSpec spec) : spec_(std::move(spec)) {
-  PH_REQUIRE(spec_.p_vcsel >= 0.0, "PVCSEL must be non-negative");
-  PH_REQUIRE(spec_.heater_ratio >= 0.0, "heater ratio must be non-negative");
-  PH_REQUIRE(spec_.chip_power >= 0.0, "chip power must be non-negative");
+  spec_.validate();
 }
 
 soc::SccSystem ThermalAwareDesigner::build_system() const {
@@ -141,57 +142,161 @@ double device_gradient(const thermal::ThermalField& field,
   return hi - lo;
 }
 
+/// Stable spelling of a double for the scene key: hexfloat is exact, so two
+/// scenes serialize identically iff every number is bit-identical.
+void key_number(std::ostream& os, double value) { os << std::hexfloat << value << '|'; }
+
 }  // namespace
 
-ThermalReport ThermalAwareDesigner::evaluate_thermal(std::optional<int> only_oni) const {
-  const soc::SccSystem system = build_system();
-  const thermal::BoundarySet bcs = boundary_conditions();
-  const thermal::TwoLevelOptions options = two_level_options();
+std::string ThermalAwareDesigner::make_global_key(const soc::SccSystem& system) const {
+  std::ostringstream os;
+  const auto num = [&os](double v) { key_number(os, v); };
 
+  const thermal::BoundarySet bcs = boundary_conditions();
+  os << "bcs:";
+  for (const thermal::FaceBc& bc : bcs.faces) {
+    os << static_cast<int>(bc.kind) << '|';
+    num(bc.h);
+    num(bc.t_ambient);
+    num(bc.t_wall);
+  }
+
+  const thermal::TwoLevelOptions options = two_level_options();
+  os << "mesh:" << options.global_mesh.background_material << '|'
+     << options.global_mesh.max_cells << '|';
+  num(options.global_mesh.default_max_cell_xy);
+  num(options.global_mesh.default_max_cell_z);
+  num(options.global_mesh.min_feature_size_xy);
+
+  // `threads` is deliberately excluded: results are bit-identical for every
+  // thread count (thread_pool.hpp contract).
+  const math::SolverOptions& solver = options.solver.solver;
+  os << "solver:" << solver.max_iterations << '|' << static_cast<int>(solver.preconditioner)
+     << '|';
+  num(solver.rel_tolerance);
+  num(solver.convergence_slack);
+
+  os << "scene:";
+  const geometry::MaterialLibrary& materials = system.scene.materials();
+  for (const geometry::Block& block : system.scene.blocks()) {
+    const geometry::Material& mat = materials.get(block.material);
+    os << block.name << '|' << static_cast<int>(block.kind) << '|' << block.group << '|'
+       << mat.name << '|';
+    num(block.box.lo.x);
+    num(block.box.lo.y);
+    num(block.box.lo.z);
+    num(block.box.hi.x);
+    num(block.box.hi.y);
+    num(block.box.hi.z);
+    num(block.power);
+    num(mat.conductivity);
+    num(mat.density);
+    num(mat.specific_heat);
+    num(mat.conductivity_exponent);
+    num(mat.reference_temperature);
+  }
+
+  os << "onis:";
+  for (const soc::OniInstance& oni : system.onis) {
+    os << oni.index << '|';
+    num(oni.footprint.lo.x);
+    num(oni.footprint.lo.y);
+    num(oni.footprint.lo.z);
+    num(oni.footprint.hi.x);
+    num(oni.footprint.hi.y);
+    num(oni.footprint.hi.z);
+  }
+  return os.str();
+}
+
+std::string ThermalAwareDesigner::global_scene_key() const {
+  return make_global_key(build_system());
+}
+
+CoarseGlobalSolve ThermalAwareDesigner::solve_global() const {
+  soc::SccSystem system = build_system();
+  std::string key = make_global_key(system);
+  const thermal::TwoLevelOptions options = two_level_options();
   auto global_mesh = std::make_shared<const mesh::RectilinearMesh>(
       mesh::RectilinearMesh::build(system.scene, options.global_mesh));
-  const thermal::ThermalField global_field =
-      thermal::solve_steady_state(global_mesh, bcs, options.solver);
+  thermal::ThermalField field =
+      thermal::solve_steady_state(std::move(global_mesh), boundary_conditions(), options.solver);
+  return CoarseGlobalSolve{std::move(system), std::move(key), std::move(field)};
+}
+
+OniThermalReport ThermalAwareDesigner::evaluate_oni_window(
+    const soc::SccSystem& system, const thermal::BoundarySet& bcs,
+    const thermal::TwoLevelOptions& options, const soc::OniInstance& oni,
+    const thermal::ThermalField& global_field) const {
+  // Fine window around this interface; refinement box = the footprint.
+  thermal::TwoLevelOptions local_options = options;
+  mesh::RefinementBox refine;
+  refine.box =
+      Box3::make({oni.footprint.lo.x, oni.footprint.lo.y, system.z.beol_lo},
+                 {oni.footprint.hi.x, oni.footprint.hi.y, system.z.optical_hi + 5e-6});
+  refine.max_cell_xy = spec_.oni_cell_xy;
+  refine.max_cell_z = spec_.oni_cell_z;
+  local_options.local_mesh.refinements.push_back(refine);
+
+  const Box3 domain = system.scene.bounding_box();
+  const Box3 window = Box3::make({oni.footprint.lo.x, oni.footprint.lo.y, domain.lo.z},
+                                 {oni.footprint.hi.x, oni.footprint.hi.y, domain.hi.z});
+  const thermal::ThermalField local_field =
+      thermal::solve_local_window(system.scene, bcs, global_field, window, local_options);
+
+  const auto vcsels = system.scene.find(BlockKind::kVcsel, oni.index);
+  const auto rings = system.scene.find(BlockKind::kMicroRing, oni.index);
+  OniThermalReport r;
+  r.oni = oni.index;
+  r.average = local_field.average_in(oni.footprint);
+  r.gradient = device_gradient(local_field, vcsels, rings);
+  r.peak_spread = local_field.spread_in(oni.footprint);
+  r.vcsel_average = average_over_blocks(local_field, vcsels);
+  r.mr_average = average_over_blocks(local_field, rings);
+  r.vcsel_to_mr = r.vcsel_average - r.mr_average;
+  return r;
+}
+
+ThermalReport ThermalAwareDesigner::evaluate_thermal(std::optional<int> only_oni,
+                                                     std::size_t threads) const {
+  return evaluate_thermal(solve_global(), only_oni, threads);
+}
+
+ThermalReport ThermalAwareDesigner::evaluate_thermal(const CoarseGlobalSolve& global,
+                                                     std::optional<int> only_oni,
+                                                     std::size_t threads) const {
+  const soc::SccSystem& system = global.system;
+  const thermal::BoundarySet bcs = boundary_conditions();
+  const thermal::TwoLevelOptions options = two_level_options();
 
   ThermalReport report;
   const Box3 heat_box = Box3::make({0.0, 0.0, system.z.heat_lo},
                                    {spec_.package.die_x, spec_.package.die_y, system.z.heat_hi});
-  report.chip_average = global_field.average_in(heat_box);
+  report.chip_average = global.field.average_in(heat_box);
 
+  std::vector<const soc::OniInstance*> selected;
   for (const soc::OniInstance& oni : system.onis) {
-    if (only_oni && oni.index != *only_oni) {
-      continue;
+    if (!only_oni || oni.index == *only_oni) {
+      selected.push_back(&oni);
     }
-    // Fine window around this interface; refinement box = the footprint.
-    thermal::TwoLevelOptions local_options = options;
-    mesh::RefinementBox refine;
-    refine.box = Box3::make(
-        {oni.footprint.lo.x, oni.footprint.lo.y, system.z.beol_lo},
-        {oni.footprint.hi.x, oni.footprint.hi.y, system.z.optical_hi + 5e-6});
-    refine.max_cell_xy = spec_.oni_cell_xy;
-    refine.max_cell_z = spec_.oni_cell_z;
-    local_options.local_mesh.refinements.push_back(refine);
-
-    const Box3 domain = system.scene.bounding_box();
-    const Box3 window = Box3::make({oni.footprint.lo.x, oni.footprint.lo.y, domain.lo.z},
-                                   {oni.footprint.hi.x, oni.footprint.hi.y, domain.hi.z});
-    const thermal::ThermalField local_field =
-        thermal::solve_local_window(system.scene, bcs, global_field, window, local_options);
-
-    const auto vcsels = system.scene.find(BlockKind::kVcsel, oni.index);
-    const auto rings = system.scene.find(BlockKind::kMicroRing, oni.index);
-    OniThermalReport r;
-    r.oni = oni.index;
-    r.average = local_field.average_in(oni.footprint);
-    r.gradient = device_gradient(local_field, vcsels, rings);
-    r.peak_spread = local_field.spread_in(oni.footprint);
-    r.vcsel_average = average_over_blocks(local_field, vcsels);
-    r.mr_average = average_over_blocks(local_field, rings);
-    r.vcsel_to_mr = r.vcsel_average - r.mr_average;
-    report.onis.push_back(r);
   }
+  PH_REQUIRE(!selected.empty(), "no ONI was evaluated (bad only_oni index?)");
 
-  PH_REQUIRE(!report.onis.empty(), "no ONI was evaluated (bad only_oni index?)");
+  // Each window is an independent local solve; results land at the ONI's
+  // slot in `selected` order, so values and order match the serial loop at
+  // every thread count. Nested regions (the solver kernels inside each
+  // window) run inline on the worker (thread_pool.hpp).
+  report.onis.resize(selected.size());
+  util::parallel_for(
+      selected.size(), 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          report.onis[idx] = evaluate_oni_window(system, bcs, options, *selected[idx],
+                                                 global.field);
+        }
+      },
+      threads);
+
   std::vector<double> averages;
   report.max_gradient = 0.0;
   for (const OniThermalReport& r : report.onis) {
@@ -239,10 +344,12 @@ SnrReport ThermalAwareDesigner::analyze_snr(const ThermalReport& thermal) const 
   return report;
 }
 
-DesignReport ThermalAwareDesigner::run() const {
+DesignReport ThermalAwareDesigner::run() const { return run(solve_global()); }
+
+DesignReport ThermalAwareDesigner::run(const CoarseGlobalSolve& global) const {
   DesignReport report;
   report.spec = spec_;
-  report.thermal = evaluate_thermal();
+  report.thermal = evaluate_thermal(global);
   if (spec_.placement == OniPlacementMode::kRing) {
     report.snr = analyze_snr(report.thermal);
   }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/spec.hpp"
@@ -68,10 +69,23 @@ struct DesignReport {
   bool links_ok() const;
 };
 
+/// Reusable product of the coarse global pass of the two-level scheme: the
+/// built system plus the coarse package-scale ThermalField, tagged with the
+/// scene key it was solved for. Immutable after construction and safe to
+/// share read-only across threads — the batch runner
+/// (scenario/batch_runner.hpp) caches one per distinct global scene and
+/// fans the per-ONI local-window solves of many scenarios out over it.
+struct CoarseGlobalSolve {
+  soc::SccSystem system;
+  std::string key;  ///< global_scene_key() of the producing spec
+  thermal::ThermalField field;
+};
+
 /// Orchestrates the methodology for one design point; reusable across
 /// sweeps (benches mutate the spec between runs).
 class ThermalAwareDesigner {
  public:
+  /// Validates the spec (OnocDesignSpec::validate) before any meshing.
   explicit ThermalAwareDesigner(OnocDesignSpec spec);
 
   const OnocDesignSpec& spec() const { return spec_; }
@@ -79,10 +93,35 @@ class ThermalAwareDesigner {
   /// Build the 3-D system (scene + ONIs) for the current spec.
   soc::SccSystem build_system() const;
 
+  /// Deterministic serialization of everything the coarse global solve
+  /// depends on: scene blocks with material properties, boundary
+  /// conditions, global mesh options and solver options. Two specs with
+  /// equal keys produce bit-identical global fields (and identical
+  /// systems), so the key is safe to use as a solve-cache key. Local-only
+  /// knobs (oni_cell_*, window_margin) and SNR knobs (fanout, waveguides,
+  /// wdm_channels, tech) deliberately do not enter the key.
+  std::string global_scene_key() const;
+
+  /// Run the coarse global pass: build the system and solve the
+  /// package-scale steady state.
+  CoarseGlobalSolve solve_global() const;
+
   /// Steady-state thermal evaluation: coarse global solve plus a fine
   /// window per ONI. When `only_oni` is set, just that interface is
   /// refined (cuts sweep cost; the paper's Fig. 9 tracks one interface).
-  ThermalReport evaluate_thermal(std::optional<int> only_oni = std::nullopt) const;
+  /// The per-ONI local-window solves are independent and run on the shared
+  /// pool (`threads` as in SweepOptions: 0 = util::concurrency(), 1 =
+  /// serial) with index-ordered collection — results are bit-identical for
+  /// every thread count.
+  ThermalReport evaluate_thermal(std::optional<int> only_oni = std::nullopt,
+                                 std::size_t threads = 0) const;
+
+  /// Same, reusing a coarse global solve produced by `solve_global()` of a
+  /// spec with an equal `global_scene_key()` (e.g. this one). Bit-identical
+  /// to the self-solving overload.
+  ThermalReport evaluate_thermal(const CoarseGlobalSolve& global,
+                                 std::optional<int> only_oni = std::nullopt,
+                                 std::size_t threads = 0) const;
 
   /// SNR analysis from ONI temperatures (ring placement only).
   SnrReport analyze_snr(const ThermalReport& thermal) const;
@@ -90,10 +129,19 @@ class ThermalAwareDesigner {
   /// Full pipeline.
   DesignReport run() const;
 
+  /// Full pipeline on a shared coarse global solve (see evaluate_thermal).
+  DesignReport run(const CoarseGlobalSolve& global) const;
+
  private:
   thermal::BoundarySet boundary_conditions() const;
   mesh::MeshOptions global_mesh_options() const;
   thermal::TwoLevelOptions two_level_options() const;
+  std::string make_global_key(const soc::SccSystem& system) const;
+  OniThermalReport evaluate_oni_window(const soc::SccSystem& system,
+                                       const thermal::BoundarySet& bcs,
+                                       const thermal::TwoLevelOptions& options,
+                                       const soc::OniInstance& oni,
+                                       const thermal::ThermalField& global_field) const;
 
   OnocDesignSpec spec_;
 };

@@ -1,0 +1,127 @@
+#include "core/spec.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace photherm::core {
+
+std::string to_string(OniPlacementMode mode) {
+  switch (mode) {
+    case OniPlacementMode::kRing:
+      return "ring";
+    case OniPlacementMode::kAllTiles:
+      return "all_tiles";
+  }
+  return "?";
+}
+
+OniPlacementMode placement_from_string(const std::string& name) {
+  const std::string wanted = to_lower(trim(name));
+  if (wanted == "ring") {
+    return OniPlacementMode::kRing;
+  }
+  if (wanted == "all_tiles") {
+    return OniPlacementMode::kAllTiles;
+  }
+  throw SpecError("unknown ONI placement `" + name + "`; valid placements: ring, all_tiles");
+}
+
+void OnocDesignSpec::validate() const {
+  std::vector<std::string> problems;
+  const auto require = [&problems](bool ok, const std::string& message) {
+    if (!ok) {
+      problems.push_back(message);
+    }
+  };
+  const auto positive = [&](double value, const char* field, const char* fix) {
+    if (!(value > 0.0)) {
+      std::ostringstream os;
+      os << field << " is " << value << " but must be positive (" << fix << ")";
+      problems.push_back(os.str());
+    }
+  };
+
+  // Non-finite knobs poison the solver far from the cause; reject wholesale.
+  const struct {
+    double value;
+    const char* field;
+  } finite_checks[] = {
+      {package.die_x, "package.die_x"},       {package.die_y, "package.die_y"},
+      {package.h_top, "package.h_top"},       {package.h_bottom, "package.h_bottom"},
+      {package.t_ambient, "package.t_ambient"}, {chip_power, "chip_power"},
+      {p_vcsel, "p_vcsel"},                   {heater_ratio, "heater_ratio"},
+      {global_cell_xy, "global_cell_xy"},     {oni_cell_xy, "oni_cell_xy"},
+      {oni_cell_z, "oni_cell_z"},             {window_margin, "window_margin"},
+  };
+  for (const auto& check : finite_checks) {
+    if (!std::isfinite(check.value)) {
+      problems.push_back(std::string(check.field) + " is not a finite number");
+    }
+  }
+
+  // Package / architecture.
+  positive(package.die_x, "package.die_x", "die footprint in metres, e.g. 26.5e-3");
+  positive(package.die_y, "package.die_y", "die footprint in metres, e.g. 21.4e-3");
+  require(package.tiles_x >= 1 && package.tiles_y >= 1,
+          "package.tiles_x/tiles_y must be at least 1 (the activity map needs tiles)");
+  positive(package.heat_source_thickness, "package.heat_source_thickness",
+           "BEOL slice carrying the tile power, e.g. 10e-6");
+  require(package.heat_source_thickness <= package.beol,
+          "package.heat_source_thickness exceeds the BEOL thickness; the heat-source "
+          "slice must fit inside the BEOL layer");
+  require(package.h_top >= 0.0 && package.h_bottom >= 0.0,
+          "package.h_top/h_bottom must be non-negative film coefficients [W/m^2K]");
+  require(package.h_top > 0.0 || package.h_bottom > 0.0,
+          "package.h_top and h_bottom are both zero: an all-adiabatic package has no "
+          "steady state; give at least one face a positive film coefficient");
+
+  // ONI composition.
+  require(oni_layout.waveguide_count >= 1,
+          "oni_layout.waveguide_count is 0: an ONI needs at least one waveguide row");
+  require(oni_layout.tx_per_waveguide >= 1,
+          "oni_layout.tx_per_waveguide is 0: an ONI needs at least one VCSEL per row");
+  require(oni_layout.rx_per_waveguide >= 1,
+          "oni_layout.rx_per_waveguide is 0: an ONI needs at least one MR/PD site per row");
+  require(active_tx_per_waveguide <= oni_layout.tx_per_waveguide,
+          "active_tx_per_waveguide exceeds oni_layout.tx_per_waveguide; cannot drive "
+          "more lasers than the interface has");
+
+  // Placement.
+  if (placement == OniPlacementMode::kRing) {
+    require(ring_case_id >= 1 && ring_case_id <= 3,
+            "ring_case_id must be 1, 2 or 3 (the paper's Fig. 11 cases)");
+  }
+
+  // Power knobs.
+  require(chip_power >= 0.0, "chip_power must be non-negative [W]");
+  require(p_vcsel >= 0.0, "p_vcsel must be non-negative [W]");
+  if (!(heater_ratio >= 0.0 && heater_ratio <= kMaxHeaterRatio)) {
+    std::ostringstream os;
+    os << "heater_ratio is " << heater_ratio << " but must be in [0, " << kMaxHeaterRatio
+       << "] (Pheater = ratio * PVCSEL; the paper's optimum is 0.3)";
+    problems.push_back(os.str());
+  }
+
+  // Network load.
+  require(waveguides >= 1, "waveguides must be at least 1");
+  require(wdm_channels >= 1, "wdm_channels must be at least 1");
+  require(fanout >= 1, "fanout must be at least 1 destination per ONI");
+
+  // Thermal resolution.
+  positive(global_cell_xy, "global_cell_xy", "coarse cell size in metres, e.g. 1e-3");
+  positive(oni_cell_xy, "oni_cell_xy", "fine window cell size in metres, e.g. 5e-6");
+  positive(oni_cell_z, "oni_cell_z", "fine z cell size in metres, e.g. 1e-6");
+  require(window_margin >= 0.0, "window_margin must be non-negative [m]");
+  require(!(oni_cell_xy > global_cell_xy),
+          "oni_cell_xy is coarser than global_cell_xy; the two-level scheme expects the "
+          "ONI window to refine the global mesh");
+
+  if (!problems.empty()) {
+    throw SpecError("invalid OnocDesignSpec: " + join(problems, "; "));
+  }
+}
+
+}  // namespace photherm::core

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/tech.hpp"
 #include "mesh/mesh.hpp"
@@ -19,6 +20,12 @@ enum class OniPlacementMode {
   kRing,     ///< evenly spaced along a ring waveguide (Fig. 11 cases)
   kAllTiles, ///< one ONI per tile (the thermal sweeps of Fig. 9/10)
 };
+
+std::string to_string(OniPlacementMode mode);
+
+/// Inverse of to_string ("ring" / "all_tiles", case-insensitive); throws
+/// SpecError on an unknown name.
+OniPlacementMode placement_from_string(const std::string& name);
 
 struct OnocDesignSpec {
   // Architecture / packaging.
@@ -59,6 +66,17 @@ struct OnocDesignSpec {
 
   /// Driver power per active laser [W].
   double p_driver() const { return p_driver_equals_p_vcsel ? p_vcsel : 0.0; }
+
+  /// Largest heater ratio validate() accepts; the paper explores <= 0.6 and
+  /// anything past this bound is a typo, not a design point.
+  static constexpr double kMaxHeaterRatio = 10.0;
+
+  /// Check the spec before it reaches the mesh/solver stack and throw
+  /// SpecError listing *every* problem found (non-positive cell sizes,
+  /// empty ONI device lists, out-of-range heater ratios, ...) — malformed
+  /// specs should fail here with actionable messages, not as deep solver or
+  /// meshing errors. ThermalAwareDesigner calls this on construction.
+  void validate() const;
 };
 
 }  // namespace photherm::core

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace photherm::power {
 
@@ -36,6 +37,27 @@ std::string to_string(ActivityKind kind) {
       return "checkerboard";
   }
   return "?";
+}
+
+const std::vector<ActivityKind>& all_activity_kinds() {
+  static const std::vector<ActivityKind> kinds{
+      ActivityKind::kUniform, ActivityKind::kDiagonal, ActivityKind::kRandom,
+      ActivityKind::kHotspot, ActivityKind::kCheckerboard};
+  return kinds;
+}
+
+ActivityKind activity_kind_from_string(const std::string& name) {
+  const std::string wanted = to_lower(trim(name));
+  for (ActivityKind kind : all_activity_kinds()) {
+    if (wanted == to_string(kind)) {
+      return kind;
+    }
+  }
+  std::vector<std::string> known;
+  for (ActivityKind kind : all_activity_kinds()) {
+    known.push_back(to_string(kind));
+  }
+  throw SpecError("unknown activity kind `" + name + "`; valid kinds: " + join(known, ", "));
 }
 
 std::vector<double> generate_activity(const TileGrid& grid, ActivityKind kind,
@@ -147,6 +169,14 @@ double ActivityTrace::scale_at(double t) const {
     }
   }
   return phases_.back().scale;
+}
+
+double ActivityTrace::average_scale() const {
+  double weighted = 0.0;
+  for (const ActivityPhase& p : phases_) {
+    weighted += p.duration * p.scale;
+  }
+  return weighted / total_duration();
 }
 
 double ActivityTrace::total_duration() const {

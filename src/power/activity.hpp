@@ -47,6 +47,13 @@ enum class ActivityKind {
 
 std::string to_string(ActivityKind kind);
 
+/// Inverse of to_string (case-insensitive); throws SpecError on an unknown
+/// name, listing the valid ones.
+ActivityKind activity_kind_from_string(const std::string& name);
+
+/// Every kind in declaration order (for registries and CLIs).
+const std::vector<ActivityKind>& all_activity_kinds();
+
 /// Per-tile power [W] for a scenario; sums to `total_power`.
 /// `rng` is only used by kRandom.
 std::vector<double> generate_activity(const TileGrid& grid, ActivityKind kind,
@@ -76,6 +83,10 @@ class ActivityTrace {
 
   /// Power scale at absolute time `t` (clamps to the last phase).
   double scale_at(double t) const;
+
+  /// Time-weighted mean scale over one period of the trace — the
+  /// steady-state equivalent duty factor of the schedule.
+  double average_scale() const;
 
   double total_duration() const;
   const std::vector<ActivityPhase>& phases() const { return phases_; }

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
+#include <limits>
 #include <sstream>
+
+#include "util/error.hpp"
 
 namespace photherm {
 
@@ -50,6 +55,72 @@ std::string to_lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
   return s;
+}
+
+std::string trim(const std::string& s) {
+  const auto is_space = [](unsigned char ch) { return std::isspace(ch) != 0; };
+  std::size_t lo = 0;
+  std::size_t hi = s.size();
+  while (lo < hi && is_space(static_cast<unsigned char>(s[lo]))) {
+    ++lo;
+  }
+  while (hi > lo && is_space(static_cast<unsigned char>(s[hi - 1]))) {
+    --hi;
+  }
+  return s.substr(lo, hi - lo);
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_double(const std::string& s, const std::string& what) {
+  const std::string text = trim(s);
+  PH_REQUIRE(!text.empty(), "empty value for " + what);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    throw SpecError("cannot parse `" + text + "` as a number for " + what);
+  }
+  // Rejects "inf"/"nan" and overflowed literals like 1e999: non-finite
+  // inputs must fail here, not deep inside a solver.
+  if (!std::isfinite(value)) {
+    throw SpecError("`" + text + "` is not a finite number for " + what);
+  }
+  return value;
+}
+
+std::uint64_t parse_uint(const std::string& s, const std::string& what) {
+  const std::string text = trim(s);
+  PH_REQUIRE(!text.empty(), "empty value for " + what);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || text[0] == '-' || errno == ERANGE) {
+    throw SpecError("cannot parse `" + text + "` as a non-negative 64-bit integer for " + what);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+bool parse_bool(const std::string& s, const std::string& what) {
+  const std::string text = to_lower(trim(s));
+  if (text == "true" || text == "1") {
+    return true;
+  }
+  if (text == "false" || text == "0") {
+    return false;
+  }
+  throw SpecError("cannot parse `" + trim(s) + "` as a boolean for " + what);
 }
 
 }  // namespace photherm

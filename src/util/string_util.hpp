@@ -2,6 +2,7 @@
 /// \brief Formatting helpers shared by reports and benches.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,5 +22,22 @@ std::string join(const std::vector<std::string>& parts, const std::string& sep);
 
 /// Lower-cased copy (ASCII).
 std::string to_lower(std::string s);
+
+/// Copy with ASCII whitespace stripped from both ends.
+std::string trim(const std::string& s);
+
+/// Split on a delimiter character; empty fields are kept ("a,,b" gives
+/// three parts) and an empty input gives one empty part.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Parse a floating-point number, requiring the whole (trimmed) string to
+/// be consumed; throws photherm::SpecError naming `what` otherwise.
+double parse_double(const std::string& s, const std::string& what);
+
+/// Parse a non-negative integer the same way.
+std::uint64_t parse_uint(const std::string& s, const std::string& what);
+
+/// Parse "true"/"false"/"1"/"0" (case-insensitive).
+bool parse_bool(const std::string& s, const std::string& what);
 
 }  // namespace photherm

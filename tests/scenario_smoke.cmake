@@ -1,0 +1,35 @@
+# CTest smoke run of the photherm_cli scenario driver, invoked as
+#   cmake -DPHOTHERM_CLI=... -DGOLDEN=... -DWORK_DIR=... -P scenario_smoke.cmake
+# Flow: expand the builtin smoke suite to a scenario file, run that file
+# twice (serial + cold vs threaded + cached), require the two CSVs to be
+# bit-identical, then compare against the checked-in golden CSV within a
+# numeric tolerance (absorbs cross-platform floating-point drift while
+# still catching real regressions).
+
+foreach(var PHOTHERM_CLI GOLDEN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "scenario_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_cli)
+  execute_process(COMMAND ${PHOTHERM_CLI} ${ARGN} RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "photherm_cli ${ARGN} failed with exit code ${rv}")
+  endif()
+endfunction()
+
+run_cli(expand builtin:smoke -o ${WORK_DIR}/suite.scn)
+run_cli(run ${WORK_DIR}/suite.scn --threads 1 --no-cache -o ${WORK_DIR}/serial.csv)
+run_cli(run ${WORK_DIR}/suite.scn --threads 4 -o ${WORK_DIR}/threaded.csv)
+
+file(READ ${WORK_DIR}/serial.csv serial_csv)
+file(READ ${WORK_DIR}/threaded.csv threaded_csv)
+if(NOT serial_csv STREQUAL threaded_csv)
+  message(FATAL_ERROR "batch output is not bit-identical between "
+                      "{1 thread, cache off} and {4 threads, cache on}")
+endif()
+
+run_cli(diff ${GOLDEN} ${WORK_DIR}/serial.csv --tol 1e-4)

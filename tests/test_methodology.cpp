@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/design_space.hpp"
 #include "support/fixtures.hpp"
 #include "util/error.hpp"
@@ -133,6 +135,57 @@ TEST(Methodology, SpecValidation) {
   spec = fast_spec();
   spec.chip_power = -5.0;
   EXPECT_THROW(ThermalAwareDesigner{spec}, Error);
+}
+
+// validate() fails before any meshing, names the offending field and says
+// how to fix it — malformed specs must not surface as deep solver errors.
+TEST(Methodology, SpecValidationMessagesAreActionable) {
+  const auto message_for = [](auto&& mutate) {
+    OnocDesignSpec spec = fast_spec();
+    mutate(spec);
+    try {
+      spec.validate();
+      return std::string();
+    } catch (const SpecError& e) {
+      return std::string(e.what());
+    }
+  };
+
+  std::string msg = message_for([](OnocDesignSpec& s) { s.oni_cell_xy = 0.0; });
+  EXPECT_NE(msg.find("oni_cell_xy"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("positive"), std::string::npos) << msg;
+
+  msg = message_for([](OnocDesignSpec& s) { s.oni_layout.waveguide_count = 0; });
+  EXPECT_NE(msg.find("waveguide_count"), std::string::npos) << msg;
+
+  msg = message_for([](OnocDesignSpec& s) { s.heater_ratio = 50.0; });
+  EXPECT_NE(msg.find("heater_ratio"), std::string::npos) << msg;
+
+  msg = message_for([](OnocDesignSpec& s) { s.ring_case_id = 7; });
+  EXPECT_NE(msg.find("ring_case_id"), std::string::npos) << msg;
+
+  msg = message_for([](OnocDesignSpec& s) {
+    s.package.h_top = 0.0;
+    s.package.h_bottom = 0.0;
+  });
+  EXPECT_NE(msg.find("adiabatic"), std::string::npos) << msg;
+
+  // Every problem is reported at once.
+  msg = message_for([](OnocDesignSpec& s) {
+    s.global_cell_xy = -1.0;
+    s.wdm_channels = 0;
+  });
+  EXPECT_NE(msg.find("global_cell_xy"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wdm_channels"), std::string::npos) << msg;
+
+  msg = message_for([](OnocDesignSpec& s) {
+    s.package.t_ambient = std::numeric_limits<double>::quiet_NaN();
+  });
+  EXPECT_NE(msg.find("t_ambient"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("finite"), std::string::npos) << msg;
+
+  // A sound spec passes.
+  EXPECT_NO_THROW(fast_spec().validate());
 }
 
 TEST(DesignSpace, Linspace) {

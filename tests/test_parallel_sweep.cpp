@@ -65,6 +65,60 @@ TEST(ParallelSweep, HeaterRatioSweepIsBitIdenticalAcrossThreadCounts) {
   expect_bit_identical(serial, at(4), "4 threads vs serial");
 }
 
+void expect_same_thermal(const core::ThermalReport& a, const core::ThermalReport& b,
+                         const char* what) {
+  ASSERT_EQ(a.onis.size(), b.onis.size()) << what;
+  EXPECT_EQ(a.chip_average, b.chip_average) << what;
+  EXPECT_EQ(a.max_gradient, b.max_gradient) << what;
+  EXPECT_EQ(a.oni_average, b.oni_average) << what;
+  EXPECT_EQ(a.oni_spread, b.oni_spread) << what;
+  for (std::size_t i = 0; i < a.onis.size(); ++i) {
+    EXPECT_EQ(a.onis[i].oni, b.onis[i].oni) << what << ", ONI " << i;
+    EXPECT_EQ(a.onis[i].average, b.onis[i].average) << what << ", ONI " << i;
+    EXPECT_EQ(a.onis[i].gradient, b.onis[i].gradient) << what << ", ONI " << i;
+    EXPECT_EQ(a.onis[i].peak_spread, b.onis[i].peak_spread) << what << ", ONI " << i;
+    EXPECT_EQ(a.onis[i].vcsel_average, b.onis[i].vcsel_average) << what << ", ONI " << i;
+    EXPECT_EQ(a.onis[i].mr_average, b.onis[i].mr_average) << what << ", ONI " << i;
+    EXPECT_EQ(a.onis[i].vcsel_to_mr, b.onis[i].vcsel_to_mr) << what << ", ONI " << i;
+  }
+}
+
+TEST(ParallelSweep, OniWindowLoopIsBitIdenticalAcrossThreadCounts) {
+  // Ring placement: four independent per-ONI local-window solves, shared
+  // across thread counts from one coarse global solve.
+  core::OnocDesignSpec spec = fixtures::coarse_onoc_spec();
+  spec.oni_cell_xy = 40e-6;
+  const core::ThermalAwareDesigner designer(spec);
+  const core::CoarseGlobalSolve global = designer.solve_global();
+
+  const core::ThermalReport serial = designer.evaluate_thermal(global, std::nullopt, 1);
+  ASSERT_EQ(serial.onis.size(), 4u);
+  expect_same_thermal(serial, designer.evaluate_thermal(global, std::nullopt, 2),
+                      "2 threads vs serial");
+  expect_same_thermal(serial, designer.evaluate_thermal(global, std::nullopt, 8),
+                      "8 threads (oversubscribed) vs serial");
+}
+
+TEST(ParallelSweep, SharedCoarseSolveMatchesColdSolveBitForBit) {
+  core::OnocDesignSpec spec = fixtures::coarse_onoc_spec();
+  spec.oni_cell_xy = 40e-6;
+  const core::ThermalAwareDesigner designer(spec);
+
+  // A designer whose spec differs only in SNR/local knobs shares the same
+  // global scene and must reproduce its own cold solve exactly when handed
+  // the other designer's coarse field.
+  core::OnocDesignSpec snr_variant = spec;
+  snr_variant.wdm_channels = 16;
+  const core::ThermalAwareDesigner other(snr_variant);
+  ASSERT_EQ(designer.global_scene_key(), other.global_scene_key());
+
+  const core::CoarseGlobalSolve global = designer.solve_global();
+  EXPECT_EQ(global.key, designer.global_scene_key());
+  expect_same_thermal(other.evaluate_thermal(),               // cold: own global solve
+                      other.evaluate_thermal(global),         // shared coarse field
+                      "shared coarse solve vs cold");
+}
+
 TEST(ParallelSweep, CalibrationPlansAreBitIdenticalAcrossThreadCounts) {
   // Network-scale per-ring plan: large enough to span many pool chunks.
   const std::size_t rings = 100'000;

@@ -1,0 +1,242 @@
+/// photherm_cli — command-line driver for the scenario engine.
+///
+///   photherm_cli list
+///       Built-in suites (with scenario counts) and scenario families.
+///   photherm_cli expand <suite> [-o FILE]
+///       Expand a suite to a scenario file (stdout by default). <suite> is
+///       either a scenario file path or `builtin:<name>`.
+///   photherm_cli run <suite> [--threads N] [--no-cache] [-o FILE]
+///       Run the batch and emit one CSV row per scenario. Output is
+///       bit-identical across thread counts and with the coarse-solve cache
+///       on or off; cache statistics go to stderr.
+///   photherm_cli diff <a.csv> <b.csv> [--tol REL]
+///       Compare two CSV files cell by cell; numeric cells match within the
+///       relative tolerance (default 0 = exact), text cells exactly.
+///       Exits 1 on mismatch — the golden-file check of the CTest smoke run.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/batch_runner.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace photherm;
+
+int usage(std::ostream& os, int exit_code) {
+  os << "usage: photherm_cli <command> [args]\n"
+        "  list                                     built-in suites and families\n"
+        "  expand <suite> [-o FILE]                 expand to a scenario file\n"
+        "  run <suite> [--threads N] [--no-cache] [-o FILE]\n"
+        "                                           run the batch, emit CSV\n"
+        "  diff <a.csv> <b.csv> [--tol REL]         numeric CSV comparison\n"
+        "a <suite> is a scenario file path or builtin:<name> (see `list`).\n";
+  return exit_code;
+}
+
+std::vector<scenario::ScenarioSpec> resolve_suite(const std::string& suite) {
+  const std::string prefix = "builtin:";
+  if (suite.rfind(prefix, 0) == 0) {
+    return scenario::builtin_suite(suite.substr(prefix.size()));
+  }
+  return scenario::load_scenario_file(suite);
+}
+
+void write_output(const std::optional<std::string>& path, const std::string& payload) {
+  if (!path) {
+    std::cout << payload;
+    return;
+  }
+  std::ofstream out(*path);
+  PH_REQUIRE(out.good(), "cannot open output file: " + *path);
+  out << payload;
+  out.flush();
+  PH_REQUIRE(out.good(), "failed while writing output file: " + *path);
+}
+
+/// Pop `--flag value` style options shared by expand/run.
+struct CommonArgs {
+  std::string suite;
+  std::optional<std::string> out_path;
+  std::size_t threads = 0;
+  bool no_cache = false;
+};
+
+CommonArgs parse_common(const std::vector<std::string>& args, const std::string& command) {
+  CommonArgs parsed;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "-o" || arg == "--out") {
+      PH_REQUIRE(i + 1 < args.size(), arg + " needs a file path");
+      parsed.out_path = args[++i];
+    } else if (arg == "--threads") {
+      PH_REQUIRE(i + 1 < args.size(), "--threads needs a count");
+      parsed.threads = static_cast<std::size_t>(parse_uint(args[++i], "--threads"));
+    } else if (arg == "--no-cache") {
+      parsed.no_cache = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw SpecError("unknown option `" + arg + "` for " + command);
+    } else {
+      PH_REQUIRE(parsed.suite.empty(), command + " takes exactly one <suite>");
+      parsed.suite = arg;
+    }
+  }
+  PH_REQUIRE(!parsed.suite.empty(), command + " needs a <suite> argument");
+  return parsed;
+}
+
+int cmd_list() {
+  std::cout << "built-in suites (run or expand with builtin:<name>):\n";
+  for (const std::string& name : scenario::builtin_suite_names()) {
+    std::cout << "  " << name << " (" << scenario::builtin_suite(name).size()
+              << " scenarios)\n";
+  }
+  std::cout << "\nscenario families (building blocks of suites):\n";
+  for (const std::string& name : scenario::family_names()) {
+    std::cout << "  " << name << ": " << scenario::family_description(name) << "\n";
+  }
+  std::cout << "\nscenario file keys: " << join(scenario::scenario_keys(), ", ") << "\n";
+  return 0;
+}
+
+int cmd_expand(const std::vector<std::string>& args) {
+  const CommonArgs parsed = parse_common(args, "expand");
+  const auto scenarios = resolve_suite(parsed.suite);
+  write_output(parsed.out_path, scenario::serialize_scenarios(scenarios));
+  std::cerr << "expanded " << scenarios.size() << " scenarios\n";
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  const CommonArgs parsed = parse_common(args, "run");
+  const auto scenarios = resolve_suite(parsed.suite);
+
+  scenario::BatchOptions options;
+  options.threads = parsed.threads;
+  options.share_global_solves = !parsed.no_cache;
+  const scenario::BatchResult result = scenario::BatchRunner(options).run(scenarios);
+
+  write_output(parsed.out_path, scenario::batch_table(scenarios, result).to_csv());
+  std::cerr << "ran " << result.stats.scenario_count << " scenarios: "
+            << result.stats.global_solves << " coarse global solves, "
+            << result.stats.cache_hits << " cache hits\n";
+  return 0;
+}
+
+/// True when the whole cell parses as a number.
+std::optional<double> as_number(const std::string& cell) {
+  const std::string text = trim(cell);
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  PH_REQUIRE(in.good(), "cannot open CSV file: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  double tol = 0.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tol") {
+      PH_REQUIRE(i + 1 < args.size(), "--tol needs a value");
+      tol = parse_double(args[++i], "--tol");
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  PH_REQUIRE(paths.size() == 2, "diff takes exactly two CSV paths");
+
+  const auto a = read_lines(paths[0]);
+  const auto b = read_lines(paths[1]);
+  if (a.size() != b.size()) {
+    std::cerr << "diff: row count " << a.size() << " vs " << b.size() << "\n";
+    return 1;
+  }
+  for (std::size_t row = 0; row < a.size(); ++row) {
+    const auto cells_a = split(a[row], ',');
+    const auto cells_b = split(b[row], ',');
+    if (cells_a.size() != cells_b.size()) {
+      std::cerr << "diff: line " << row + 1 << ": column count " << cells_a.size() << " vs "
+                << cells_b.size() << "\n";
+      return 1;
+    }
+    for (std::size_t col = 0; col < cells_a.size(); ++col) {
+      const auto na = as_number(cells_a[col]);
+      const auto nb = as_number(cells_b[col]);
+      bool ok;
+      // NaN cells fall through to the text comparison (NaN != NaN would
+      // make a file mismatch a byte-identical copy of itself).
+      if (na && nb && !std::isnan(*na) && !std::isnan(*nb)) {
+        const double scale = std::max({1.0, std::abs(*na), std::abs(*nb)});
+        ok = *na == *nb || std::abs(*na - *nb) <= tol * scale;
+      } else {
+        ok = trim(cells_a[col]) == trim(cells_b[col]);
+      }
+      if (!ok) {
+        std::cerr << "diff: line " << row + 1 << ", column " << col + 1 << ": `"
+                  << cells_a[col] << "` vs `" << cells_b[col] << "` (tol " << tol << ")\n";
+        return 1;
+      }
+    }
+  }
+  std::cerr << "diff: " << a.size() << " rows match\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "-h" || args[0] == "--help" || args[0] == "help") {
+    return usage(args.empty() ? std::cerr : std::cout, args.empty() ? 2 : 0);
+  }
+  const std::string command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "list") {
+      return cmd_list();
+    }
+    if (command == "expand") {
+      return cmd_expand(rest);
+    }
+    if (command == "run") {
+      return cmd_run(rest);
+    }
+    if (command == "diff") {
+      return cmd_diff(rest);
+    }
+    std::cerr << "photherm_cli: unknown command `" << command << "`\n";
+    return usage(std::cerr, 2);
+  } catch (const photherm::Error& e) {
+    std::cerr << "photherm_cli: " << e.what() << "\n";
+    return 2;
+  }
+}
