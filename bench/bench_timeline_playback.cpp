@@ -1,0 +1,65 @@
+/// Timeline playback throughput and the warm-start payoff: play the builtin
+/// transient suite over a fixed horizon with the per-step CG solves seeded
+/// from the previous state (the TransientSolver default) and from zero
+/// (--cold-start equivalent), and report steps/sec plus the iteration
+/// savings. The savings grow as the field approaches steady state — near
+/// settle a warm-started step converges in a handful of iterations.
+#include <chrono>
+#include <iostream>
+
+#include "scenario/registry.hpp"
+#include "timeline/runner.hpp"
+#include "util/csv.hpp"
+
+using namespace photherm;
+
+namespace {
+
+struct Run {
+  timeline::TimelineBatchResult result;
+  double seconds = 0.0;
+};
+
+Run play(const std::vector<scenario::ScenarioSpec>& suite, bool warm_start) {
+  timeline::TimelineBatchOptions options;
+  options.playback.time_step = 0.2;
+  options.playback.max_periods = 60;
+  options.playback.stop_on_settle = false;  // equal horizons for both modes
+  options.playback.warm_start = warm_start;
+  const auto start = std::chrono::steady_clock::now();
+  Run run;
+  run.result = timeline::TimelineRunner(options).run(suite);
+  run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<scenario::ScenarioSpec> suite = scenario::builtin_suite("transient");
+  const Run warm = play(suite, true);
+  const Run cold = play(suite, false);
+
+  Table table({"mode", "steps", "CG iterations", "iters/step", "steps/sec"});
+  const auto add = [&table](const char* mode, const Run& run) {
+    const double steps = static_cast<double>(run.result.stats.total_steps);
+    const double iters = static_cast<double>(run.result.stats.total_cg_iterations);
+    table.add_row({std::string(mode), steps, iters, iters / steps,
+                   steps / run.seconds});
+  };
+  add("warm start", warm);
+  add("cold start", cold);
+  print_table(std::cout, "timeline playback (builtin:transient, fixed 60-period horizon)", table);
+
+  const double saved =
+      1.0 - static_cast<double>(warm.result.stats.total_cg_iterations) /
+                static_cast<double>(cold.result.stats.total_cg_iterations);
+  std::cout << "warm-start saves " << saved * 100.0 << "% of the CG iterations on this "
+            << "horizon (the margin widens near settle, where a warm step costs O(1) "
+            << "iterations)\n";
+
+  Table summary = timeline::timeline_summary_table(warm.result);
+  summary.set_precision(6);
+  print_table(std::cout, "per-scenario trace summary (warm start)", summary);
+  return 0;
+}

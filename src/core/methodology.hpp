@@ -93,6 +93,15 @@ class ThermalAwareDesigner {
   /// Build the 3-D system (scene + ONIs) for the current spec.
   soc::SccSystem build_system() const;
 
+  /// Package boundary conditions for the current spec. Public so the
+  /// timeline engine (timeline/playback.hpp) can assemble the transient
+  /// stepping problem on the same scene the steady-state pipeline solves.
+  thermal::BoundarySet boundary_conditions() const;
+
+  /// Mesh options of the coarse package-scale pass (what solve_global()
+  /// meshes with). Public for the same reason as boundary_conditions().
+  mesh::MeshOptions global_mesh_options() const;
+
   /// Deterministic serialization of everything the coarse global solve
   /// depends on: scene blocks with material properties, boundary
   /// conditions, global mesh options and solver options. Two specs with
@@ -133,8 +142,6 @@ class ThermalAwareDesigner {
   DesignReport run(const CoarseGlobalSolve& global) const;
 
  private:
-  thermal::BoundarySet boundary_conditions() const;
-  mesh::MeshOptions global_mesh_options() const;
   thermal::TwoLevelOptions two_level_options() const;
   std::string make_global_key(const soc::SccSystem& system) const;
   OniThermalReport evaluate_oni_window(const soc::SccSystem& system,

@@ -92,6 +92,38 @@ std::vector<ScenarioSpec> expand_duty_ramp(const FamilySpec& request) {
   return out;
 }
 
+std::vector<ScenarioSpec> expand_transient_step(const FamilySpec& request) {
+  const std::vector<double> scales =
+      request.values.empty() ? std::vector<double>{0.25, 0.5, 1.0} : request.values;
+  std::vector<ScenarioSpec> out;
+  for (double scale : scales) {
+    PH_REQUIRE(scale >= 0.0, "transient_step scale must be non-negative");
+    ScenarioSpec s = request.base;
+    s.name = request.prefix + "_s" + name_suffix(scale);
+    // Constant schedule: power steps to `scale` at t = 0 and holds — the
+    // timeline engine reports the settle time from a cold (ambient) start.
+    s.schedule = {{1.0, scale}};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> expand_transient_burst(const FamilySpec& request) {
+  const std::vector<double> duties =
+      request.values.empty() ? std::vector<double>{0.25, 0.5, 0.75} : request.values;
+  std::vector<ScenarioSpec> out;
+  for (double duty : duties) {
+    PH_REQUIRE(duty > 0.0 && duty < 1.0, "transient_burst duty must be in (0, 1)");
+    ScenarioSpec s = request.base;
+    s.name = request.prefix + "_d" + name_suffix(duty);
+    // Square-wave traffic burst over a 1 s period: full power for `duty`,
+    // then a 10% idle floor (clock/leakage) for the rest.
+    s.schedule = {{duty, 1.0}, {1.0 - duty, 0.1}};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::vector<ScenarioSpec> expand_wdm_ladder(const FamilySpec& request) {
   const std::vector<double> channels =
       request.values.empty() ? std::vector<double>{4.0, 8.0, 16.0} : request.values;
@@ -126,6 +158,12 @@ const std::vector<Family>& families() {
       {"wdm_ladder", "WDM channel counts (thermally identical, so the batch runner shares "
                      "one coarse solve); default ladder 4/8/16",
        expand_wdm_ladder},
+      {"transient_step", "power-step settle studies for the timeline engine (constant "
+                         "schedule at each scale); default ladder 0.25/0.5/1",
+       expand_transient_step},
+      {"transient_burst", "square-wave traffic bursts (1 s period, 10% idle floor) for "
+                          "the timeline engine; default duty ladder 0.25/0.5/0.75",
+       expand_transient_burst},
   };
   return table;
 }
@@ -193,7 +231,7 @@ std::vector<ScenarioSpec> expand_family(const FamilySpec& request) {
   return expanded;
 }
 
-std::vector<std::string> builtin_suite_names() { return {"smoke", "corners"}; }
+std::vector<std::string> builtin_suite_names() { return {"smoke", "corners", "transient"}; }
 
 std::vector<ScenarioSpec> builtin_suite(const std::string& name) {
   if (name == "smoke") {
@@ -209,6 +247,12 @@ std::vector<ScenarioSpec> builtin_suite(const std::string& name) {
     FamilySpec wdm{"wdm_ladder", "", base, {}};
     return append(append(expand_family(traffic), expand_family(ambient)),
                   expand_family(wdm));
+  }
+  if (name == "transient") {
+    const ScenarioSpec base = suite_base(3e-3, 40e-6);
+    FamilySpec step{"transient_step", "", base, {1.0, 0.5}};
+    FamilySpec burst{"transient_burst", "", base, {0.5, 0.25}};
+    return append(expand_family(step), expand_family(burst));
   }
   throw SpecError("unknown built-in suite `" + name + "`; known suites: " +
                   join(builtin_suite_names(), ", "));

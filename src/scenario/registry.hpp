@@ -1,9 +1,10 @@
 /// \file registry.hpp
 /// \brief Built-in scenario families and suites. A family is a
 /// parameterized generator (traffic patterns, ambient corners, heater
-/// ladders, duty ramps, WDM ladders) that expands into a concrete scenario
-/// list from a base scenario; a suite is a named, ready-to-run combination
-/// of families (what `photherm_cli expand builtin:<name>` emits).
+/// ladders, duty ramps, WDM ladders, transient steps/bursts) that expands
+/// into a concrete scenario list from a base scenario; a suite is a named,
+/// ready-to-run combination of families (what `photherm_cli expand
+/// builtin:<name>` emits).
 #pragma once
 
 #include <string>
@@ -37,7 +38,7 @@ std::string family_description(const std::string& family);
 /// same list). Throws SpecError on an unknown family or bad parameters.
 std::vector<ScenarioSpec> expand_family(const FamilySpec& request);
 
-/// Built-in suite names ("smoke", "corners").
+/// Built-in suite names ("smoke", "corners", "transient").
 std::vector<std::string> builtin_suite_names();
 
 /// Expand a built-in suite; throws SpecError on an unknown name.
@@ -46,6 +47,8 @@ std::vector<std::string> builtin_suite_names();
 ///   (-40/25/85 degC) and a WDM-channel ladder; the ladder scenarios share
 ///   one global thermal scene, so the batch runner's coarse-solve cache
 ///   gets hits on this suite.
+/// - "transient": 4 schedule-driven scenarios (power steps and traffic
+///   bursts) for the timeline engine's playback (`photherm_cli play`).
 std::vector<ScenarioSpec> builtin_suite(const std::string& name);
 
 }  // namespace photherm::scenario

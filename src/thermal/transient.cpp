@@ -1,5 +1,7 @@
 #include "thermal/transient.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace photherm::thermal {
@@ -30,39 +32,54 @@ TransientSolver::TransientSolver(std::shared_ptr<const mesh::RectilinearMesh> me
   system_ = assemble(*mesh_, bcs);
   stepping_matrix_ = add_capacitance(system_.matrix, system_.capacitance, options_.time_step);
   state_.assign(mesh_->cell_count(), 0.0);
-  // Separate injected power from boundary wall terms so set_power_scale
-  // throttles only the heat sources, not the ambient coupling.
+  // Separate injected power from boundary wall terms so set_power_scale /
+  // set_power throttle only the heat sources, not the ambient coupling.
   power_.resize(mesh_->cell_count());
   bc_rhs_.resize(mesh_->cell_count());
   for (std::size_t i = 0; i < mesh_->cell_count(); ++i) {
     power_[i] = mesh_->power(i);
     bc_rhs_[i] = system_.rhs[i] - power_[i];
   }
+  refresh_field();
 }
 
 void TransientSolver::set_uniform_state(double t_celsius) {
   state_.assign(mesh_->cell_count(), t_celsius);
+  refresh_field();
 }
 
 void TransientSolver::set_state(const ThermalField& field) {
   PH_REQUIRE(field.temperatures().size() == mesh_->cell_count(),
              "set_state: field does not match the mesh");
   state_ = field.temperatures();
+  refresh_field();
 }
 
-ThermalField TransientSolver::step() {
+const ThermalField& TransientSolver::step() {
   const std::size_t n = mesh_->cell_count();
   math::Vector rhs(n);
   for (std::size_t i = 0; i < n; ++i) {
     rhs[i] = system_.capacitance[i] / options_.time_step * state_[i] + bc_rhs_[i] +
              power_scale_ * power_[i];
   }
-  math::conjugate_gradient(stepping_matrix_, rhs, state_, options_.solver);
+  if (options_.warm_start) {
+    // state_ already has the system size, so CG keeps it as the initial
+    // guess (solvers.hpp warm-start contract) — the previous step's field.
+    last_solve_ = math::conjugate_gradient(stepping_matrix_, rhs, state_, options_.solver);
+  } else {
+    math::Vector x;  // empty -> CG starts from the zero vector
+    last_solve_ = math::conjugate_gradient(stepping_matrix_, rhs, x, options_.solver);
+    state_ = std::move(x);
+  }
+  stats_.steps += 1;
+  stats_.total_cg_iterations += last_solve_.iterations;
+  stats_.max_cg_iterations = std::max(stats_.max_cg_iterations, last_solve_.iterations);
   time_ += options_.time_step;
-  return ThermalField(mesh_, state_);
+  refresh_field();
+  return *field_;
 }
 
-ThermalField TransientSolver::advance(std::size_t n) {
+const ThermalField& TransientSolver::advance(std::size_t n) {
   PH_REQUIRE(n >= 1, "advance requires at least one step");
   for (std::size_t i = 0; i + 1 < n; ++i) {
     step();
@@ -75,6 +92,12 @@ void TransientSolver::set_power_scale(double scale) {
   power_scale_ = scale;
 }
 
-const ThermalField TransientSolver::state() const { return ThermalField(mesh_, state_); }
+void TransientSolver::set_power(const math::Vector& power) {
+  PH_REQUIRE(power.size() == mesh_->cell_count(),
+             "set_power: power vector does not match the mesh");
+  power_ = power;
+}
+
+void TransientSolver::refresh_field() { field_.emplace(mesh_, state_); }
 
 }  // namespace photherm::thermal

@@ -2,11 +2,13 @@
 /// \brief Transient conduction by implicit (backward) Euler. IcTherm's
 /// original publication [23] is a transient simulator; the paper only needs
 /// steady state, but the transient engine is provided for studying heating
-/// latency of the MR calibration loop (Sec. II discussion).
+/// latency of the MR calibration loop (Sec. II discussion). The timeline
+/// engine (timeline/playback.hpp) drives it through scenario schedules.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "thermal/fvm.hpp"
 
@@ -15,6 +17,14 @@ namespace photherm::thermal {
 struct TransientOptions {
   double time_step = 1e-3;  ///< [s]
   math::SolverOptions solver;
+  /// Seed each step's CG solve with the previous state. The stepping update
+  /// (C/dt + A) T_{n+1} = (C/dt) T_n + q moves the field a little per step,
+  /// so the previous state is an excellent initial guess and cuts the
+  /// per-step iteration count hard (see bench_timeline_playback). Off
+  /// restarts every solve from the zero vector — only useful to measure the
+  /// warm-start savings; results agree within the solver tolerance but are
+  /// not bit-identical.
+  bool warm_start = true;
   TransientOptions() {
     solver.rel_tolerance = 1e-10;
     // Warm-started per-step solves: same explicit recursive-vs-true residual
@@ -23,10 +33,20 @@ struct TransientOptions {
   }
 };
 
+/// Cumulative per-solver stepping statistics (for benches and the timeline
+/// trace): how many steps ran and what they cost in CG iterations.
+struct TransientStats {
+  std::size_t steps = 0;
+  std::size_t total_cg_iterations = 0;
+  std::size_t max_cg_iterations = 0;  ///< worst single step
+};
+
 /// Steps T(t) forward with backward Euler:
 ///   (C/dt + A) T_{n+1} = (C/dt) T_n + q.
 /// The operator (C/dt + A) is SPD, so CG applies. Power can be updated
-/// between steps (e.g. activity phases) via set_power_scale or reassembly.
+/// between steps — uniformly via set_power_scale or per cell via set_power;
+/// both only touch the right-hand side, so no reassembly or
+/// re-preconditioning happens between phases.
 class TransientSolver {
  public:
   TransientSolver(std::shared_ptr<const mesh::RectilinearMesh> mesh, const BoundarySet& bcs,
@@ -40,19 +60,43 @@ class TransientSolver {
 
   /// Advance one time step; returns the new field (state is kept
   /// internally as well).
-  ThermalField step();
+  const ThermalField& step();
 
   /// Advance `n` steps; returns the final field.
-  ThermalField advance(std::size_t n);
+  const ThermalField& advance(std::size_t n);
 
   /// Scale all injected power uniformly (activity throttling); takes effect
-  /// on the next step.
+  /// on the next step. Composes with set_power: the scale applies to the
+  /// current injected-power vector.
   void set_power_scale(double scale);
 
+  /// Replace the injected power per cell [W] (size must match the mesh).
+  /// Rhs-only, so phase changes cost nothing beyond the copy — the timeline
+  /// engine swaps power vectors between schedule phases without touching
+  /// the stepping matrix.
+  void set_power(const math::Vector& power);
+
+  /// Injected power per cell currently applied (before power_scale).
+  const math::Vector& power() const { return power_; }
+
   double time() const { return time_; }
-  const ThermalField state() const;
+  const ThermalField& state() const { return *field_; }
+
+  /// CG result of the most recent step() (default-constructed before the
+  /// first step).
+  const math::SolverResult& last_solve() const { return last_solve_; }
+
+  /// Cumulative stepping statistics since construction.
+  const TransientStats& stats() const { return stats_; }
+
+  /// The assembled steady-state system (operator A, rhs, capacitance) this
+  /// solver steps. Read-only; the timeline engine reuses it for the steady
+  /// settle reference instead of assembling the same scene twice.
+  const DiscreteSystem& system() const { return system_; }
 
  private:
+  void refresh_field();
+
   std::shared_ptr<const mesh::RectilinearMesh> mesh_;
   TransientOptions options_;
   DiscreteSystem system_;          ///< steady-state operator A and rhs q
@@ -60,6 +104,9 @@ class TransientSolver {
   math::Vector power_;             ///< injected power per cell [W]
   math::Vector bc_rhs_;            ///< boundary wall terms of the rhs
   math::Vector state_;
+  std::optional<ThermalField> field_;  ///< mirrors state_ (state() is a cheap ref)
+  math::SolverResult last_solve_;
+  TransientStats stats_;
   double power_scale_ = 1.0;
   double time_ = 0.0;
 };

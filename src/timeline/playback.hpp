@@ -1,0 +1,83 @@
+/// \file playback.hpp
+/// \brief Transient playback of one scenario: compile its schedule into a
+/// PowerTimeline, build the package-scale scene (the same one the
+/// steady-state pipeline's coarse pass solves) and step the backward-Euler
+/// TransientSolver through it with warm-started CG. Every step samples a
+/// ProbeSet into a TimelineTrace; a settle detector compares the evolving
+/// field against the duty-averaged steady-state solution so time-to-steady
+/// (the calibration latency of Sec. II) is a first-class output.
+///
+/// Power handling: the scenario's schedule modulates only the chip activity
+/// (the tile heat sources), exactly like the steady-state duty fold in
+/// ScenarioSpec::effective_design — the ONI device powers (VCSELs, drivers,
+/// MR heaters) are run-time constants. The per-cell split is derived by
+/// meshing the scene twice (once as specified, once with chip_power = 0 —
+/// identical grids, power differs only by the tile contribution), and phase
+/// changes swap rhs power vectors without reassembling the stepping matrix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "thermal/transient.hpp"
+#include "timeline/probe.hpp"
+#include "timeline/timeline.hpp"
+
+namespace photherm::timeline {
+
+struct PlaybackOptions {
+  double time_step = 0.05;  ///< [s]
+  /// Horizon cap: the timeline repeats at most this many periods. With
+  /// stop_on_settle the playback usually ends earlier; without it the
+  /// horizon is exact, so the trace shape is schedule-determined (what the
+  /// golden-CSV smoke test relies on).
+  std::size_t max_periods = 400;
+  /// Settle criterion: max |T - T_steady| over all cells below this [degC]
+  /// for one full timeline period, where T_steady is the steady solution at
+  /// the timeline's duty-averaged power on the same mesh. The full-period
+  /// hold keeps an oscillating schedule that merely crosses the reference
+  /// from latching a false settle.
+  double settle_tolerance = 0.02;
+  /// Stop stepping once settled (after recording the settling step).
+  bool stop_on_settle = true;
+  /// Warm-start each step's CG from the previous state (TransientOptions).
+  bool warm_start = true;
+  /// Solver knobs for both the per-step solves and the steady reference.
+  /// Defaults to TransientOptions' tolerances.
+  math::SolverOptions solver = thermal::TransientOptions{}.solver;
+};
+
+/// Time series of one playback, index-aligned across its vectors: entry k
+/// describes step k (sampled at the *end* of the step, time (k+1) * dt).
+struct TimelineTrace {
+  std::string scenario;
+  std::vector<std::string> probe_names;
+
+  std::vector<double> times;                 ///< [s], end-of-step
+  std::vector<double> power_scale;           ///< schedule scale during the step
+  std::vector<std::size_t> cg_iterations;    ///< per-step CG cost
+  std::vector<std::vector<double>> samples;  ///< [step][probe]
+
+  /// Settle detection against the duty-averaged steady state.
+  bool settled = false;
+  /// [s]; start of the first full period over which the criterion held.
+  double settle_time = -1.0;
+  std::size_t settle_step = 0;    ///< step index of settle_time
+  double final_delta = 0.0;       ///< max |T - T_steady| at the last step
+
+  double period = 0.0;            ///< compiled timeline period [s]
+  thermal::TransientStats stats;  ///< cumulative stepping cost
+
+  std::size_t step_count() const { return times.size(); }
+};
+
+/// Play one scenario. Deterministic: the trace depends only on the scenario
+/// and the options, never on thread counts (the solver kernels are
+/// bit-identical at any concurrency — thread_pool.hpp contract). Throws
+/// SpecError on an invalid scenario design.
+TimelineTrace play_scenario(const scenario::ScenarioSpec& spec,
+                            const PlaybackOptions& options = {});
+
+}  // namespace photherm::timeline

@@ -1,0 +1,157 @@
+#include "timeline/probe.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace photherm::timeline {
+
+double Probe::sample(const thermal::ThermalField& field) const {
+  PH_REQUIRE(!boxes.empty(), "probe `" + name + "` has no boxes");
+  double acc = 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const geometry::Box3& box : boxes) {
+    const double t = field.average_in(box);
+    acc += t;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  switch (reduction) {
+    case Reduction::kMeanOfAverages:
+      return acc / static_cast<double>(boxes.size());
+    case Reduction::kMaxOfAverages:
+      return hi;
+    case Reduction::kSpreadOfAverages:
+      return hi - lo;
+  }
+  PH_REQUIRE(false, "unknown probe reduction");
+  return 0.0;
+}
+
+void ProbeSet::add(Probe probe) {
+  PH_REQUIRE(!probe.name.empty(), "probe needs a name");
+  for (const Probe& existing : probes_) {
+    PH_REQUIRE(existing.name != probe.name, "duplicate probe name `" + probe.name + "`");
+  }
+  probes_.push_back(std::move(probe));
+}
+
+std::vector<std::string> ProbeSet::names() const {
+  std::vector<std::string> names;
+  names.reserve(probes_.size());
+  for (const Probe& p : probes_) {
+    names.push_back(p.name);
+  }
+  return names;
+}
+
+std::vector<double> ProbeSet::sample(const thermal::ThermalField& field) const {
+  std::vector<double> samples;
+  samples.reserve(probes_.size());
+  for (const Probe& p : probes_) {
+    samples.push_back(p.sample(field));
+  }
+  return samples;
+}
+
+BoundProbeSet::BoundProbeSet(const ProbeSet& probes, const mesh::RectilinearMesh& mesh)
+    : cell_count_(mesh.cell_count()), names_(probes.names()) {
+  const std::size_t nx = mesh.nx();
+  const std::size_t ny = mesh.ny();
+  for (const Probe& probe : probes.probes()) {
+    BoundProbe bound;
+    bound.reduction = probe.reduction;
+    for (const geometry::Box3& box : probe.boxes) {
+      BoundBox bb;
+      // Same cell order and overlap weighting as ThermalField::average_in,
+      // so replaying the accumulation gives bit-identical averages.
+      const auto cells = mesh.cells_in(box);
+      PH_REQUIRE(!cells.empty(), "probe box does not overlap the mesh");
+      for (std::size_t cell : cells) {
+        const std::size_t ix = cell % nx;
+        const std::size_t iy = (cell / nx) % ny;
+        const std::size_t iz = cell / (nx * ny);
+        const double w = box.overlap_volume(mesh.cell_box(ix, iy, iz));
+        bb.cell_weights.emplace_back(cell, w);
+        bb.total_weight += w;
+      }
+      PH_REQUIRE(bb.total_weight > 0.0, "probe box has zero overlap volume");
+      bound.boxes.push_back(std::move(bb));
+    }
+    probes_.push_back(std::move(bound));
+  }
+}
+
+std::vector<double> BoundProbeSet::sample(const thermal::ThermalField& field) const {
+  const std::vector<double>& t = field.temperatures();
+  PH_REQUIRE(t.size() == cell_count_, "field does not live on the bound mesh");
+  std::vector<double> samples;
+  samples.reserve(probes_.size());
+  for (const BoundProbe& probe : probes_) {
+    double acc = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const BoundBox& box : probe.boxes) {
+      double num = 0.0;
+      for (const auto& [cell, w] : box.cell_weights) {
+        num += t[cell] * w;
+      }
+      const double avg = num / box.total_weight;
+      acc += avg;
+      lo = std::min(lo, avg);
+      hi = std::max(hi, avg);
+    }
+    switch (probe.reduction) {
+      case Probe::Reduction::kMeanOfAverages:
+        samples.push_back(acc / static_cast<double>(probe.boxes.size()));
+        break;
+      case Probe::Reduction::kMaxOfAverages:
+        samples.push_back(hi);
+        break;
+      case Probe::Reduction::kSpreadOfAverages:
+        samples.push_back(hi - lo);
+        break;
+    }
+  }
+  return samples;
+}
+
+ProbeSet ProbeSet::standard(const soc::SccSystem& system) {
+  ProbeSet set;
+
+  // Per-tile boxes over the heat-source slice of the BEOL layer.
+  std::vector<geometry::Box3> tile_boxes;
+  for (std::size_t j = 0; j < system.tiles.ny(); ++j) {
+    for (std::size_t i = 0; i < system.tiles.nx(); ++i) {
+      geometry::Box3 box = system.tiles.tile_box(i, j);
+      box.lo.z = system.z.heat_lo;
+      box.hi.z = system.z.heat_hi;
+      tile_boxes.push_back(box);
+    }
+  }
+
+  geometry::Box3 heat_layer = system.scene.bounding_box();
+  heat_layer.lo.z = system.z.heat_lo;
+  heat_layer.hi.z = system.z.heat_hi;
+  set.add({"chip_avg", Probe::Reduction::kMeanOfAverages, {heat_layer}});
+  set.add({"tile_hottest", Probe::Reduction::kMaxOfAverages, tile_boxes});
+  set.add({"die_gradient", Probe::Reduction::kSpreadOfAverages, tile_boxes});
+
+  for (const soc::OniInstance& oni : system.onis) {
+    Probe probe;
+    probe.name = "oni" + std::to_string(oni.index) + "_mr";
+    probe.reduction = Probe::Reduction::kMeanOfAverages;
+    for (const geometry::Block* ring :
+         system.scene.find(geometry::BlockKind::kMicroRing, oni.index)) {
+      probe.boxes.push_back(ring->box);
+    }
+    PH_REQUIRE(!probe.boxes.empty(),
+               "ONI " + std::to_string(oni.index) + " has no micro-ring blocks to probe");
+    set.add(std::move(probe));
+  }
+  return set;
+}
+
+}  // namespace photherm::timeline

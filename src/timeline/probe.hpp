@@ -1,0 +1,91 @@
+/// \file probe.hpp
+/// \brief Sampling points for transient playback: named reductions over
+/// regions of the evolving thermal field, evaluated every step into a
+/// TimelineTrace. The standard set tracks what the paper's calibration
+/// story cares about — the chip average, the hottest tile, the die-level
+/// tile gradient and each ONI's micro-ring temperature (the quantity whose
+/// settle time paces the run-time MR calibration loop, Sec. II).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/scc.hpp"
+#include "thermal/thermal_map.hpp"
+
+namespace photherm::timeline {
+
+/// One named reduction over a set of boxes. Per-box values are the
+/// volume-weighted average temperature (ThermalField::average_in); the
+/// reduction folds them into one sample.
+struct Probe {
+  enum class Reduction {
+    kMeanOfAverages,    ///< mean of the per-box averages
+    kMaxOfAverages,     ///< hottest box
+    kSpreadOfAverages,  ///< max - min across boxes (a gradient)
+  };
+
+  std::string name;
+  Reduction reduction = Reduction::kMeanOfAverages;
+  std::vector<geometry::Box3> boxes;
+
+  double sample(const thermal::ThermalField& field) const;
+};
+
+/// Ordered probe list; sample order always matches name order, so traces
+/// sampled with equal probe sets are column-aligned.
+class ProbeSet {
+ public:
+  void add(Probe probe);
+
+  const std::vector<Probe>& probes() const { return probes_; }
+  std::vector<std::string> names() const;
+  std::size_t size() const { return probes_.size(); }
+
+  /// Sample every probe against `field`, in probe order.
+  std::vector<double> sample(const thermal::ThermalField& field) const;
+
+  /// The standard playback probes for a built system:
+  ///   chip_avg      mean over the heat-source layer
+  ///   tile_hottest  hottest per-tile average (heat-source layer)
+  ///   die_gradient  spread of the per-tile averages
+  ///   oni<k>_mr     mean micro-ring temperature of each ONI
+  /// Probe geometry depends only on the system, so two scenarios built from
+  /// the same base produce identical probe sets (and comparable traces).
+  static ProbeSet standard(const soc::SccSystem& system);
+
+ private:
+  std::vector<Probe> probes_;
+};
+
+/// A probe set resolved against one mesh: every box's overlapping cells and
+/// overlap-volume weights are computed once, so sampling a step is a few
+/// weighted sums instead of a mesh search per box per step. Accumulation
+/// replays ThermalField::average_in cell for cell, so samples are
+/// bit-identical to ProbeSet::sample on the same field.
+class BoundProbeSet {
+ public:
+  BoundProbeSet(const ProbeSet& probes, const mesh::RectilinearMesh& mesh);
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Sample every probe against `field` (must live on the bound mesh's
+  /// grid), in probe order.
+  std::vector<double> sample(const thermal::ThermalField& field) const;
+
+ private:
+  struct BoundBox {
+    std::vector<std::pair<std::size_t, double>> cell_weights;
+    double total_weight = 0.0;
+  };
+  struct BoundProbe {
+    Probe::Reduction reduction = Probe::Reduction::kMeanOfAverages;
+    std::vector<BoundBox> boxes;
+  };
+
+  std::size_t cell_count_ = 0;
+  std::vector<std::string> names_;
+  std::vector<BoundProbe> probes_;
+};
+
+}  // namespace photherm::timeline

@@ -1,0 +1,96 @@
+#include "timeline/runner.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace photherm::timeline {
+
+TimelineRunner::TimelineRunner(TimelineBatchOptions options) : options_(options) {}
+
+TimelineBatchResult TimelineRunner::run(
+    const std::vector<scenario::ScenarioSpec>& scenarios) const {
+  PH_REQUIRE(!scenarios.empty(), "timeline batch has no scenarios");
+  const std::size_t n = scenarios.size();
+
+  // Validate every design up front, before any stepping starts.
+  for (const scenario::ScenarioSpec& s : scenarios) {
+    try {
+      s.design.validate();
+    } catch (const Error& e) {
+      throw SpecError("scenario `" + s.name + "`: " + e.what());
+    }
+  }
+
+  TimelineBatchResult result;
+  result.traces.resize(n);
+  // Playbacks are independent; traces land at their scenario's index, so
+  // order and values do not depend on the thread count. Nested regions (the
+  // CG kernels inside each playback) run inline on the worker.
+  util::parallel_for(
+      n, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          result.traces[i] = play_scenario(scenarios[i], options_.playback);
+        }
+      },
+      options_.threads);
+
+  result.stats.scenario_count = n;
+  for (const TimelineTrace& trace : result.traces) {
+    result.stats.total_steps += trace.step_count();
+    result.stats.total_cg_iterations += trace.stats.total_cg_iterations;
+    result.stats.settled_count += trace.settled ? 1 : 0;
+  }
+  PH_LOG_DEBUG << "timeline batch: " << n << " scenarios, " << result.stats.total_steps
+               << " steps, " << result.stats.settled_count << " settled";
+  return result;
+}
+
+Table timeline_table(const TimelineBatchResult& result) {
+  PH_REQUIRE(!result.traces.empty(), "no traces to tabulate");
+  const std::vector<std::string>& probe_names = result.traces.front().probe_names;
+  for (const TimelineTrace& trace : result.traces) {
+    PH_REQUIRE(trace.probe_names == probe_names,
+               "trace `" + trace.scenario +
+                   "` has a different probe set; play suites built from one base, or "
+                   "tabulate them separately");
+  }
+
+  // Per-step CG iteration counts are deliberately absent: they are
+  // deterministic on one machine but can flip by one across
+  // platforms/toolchains, which would break the golden-CSV smoke diff. They
+  // live in the trace itself and in the summary table.
+  std::vector<std::string> header{"scenario", "step", "time_s", "power_scale"};
+  for (const std::string& name : probe_names) {
+    header.push_back(name + "_c");
+  }
+  Table table(std::move(header));
+  table.set_precision(17);
+  for (const TimelineTrace& trace : result.traces) {
+    for (std::size_t k = 0; k < trace.step_count(); ++k) {
+      std::vector<TableCell> row{trace.scenario, static_cast<double>(k), trace.times[k],
+                                 trace.power_scale[k]};
+      for (double sample : trace.samples[k]) {
+        row.emplace_back(sample);
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  return table;
+}
+
+Table timeline_summary_table(const TimelineBatchResult& result) {
+  Table table({"scenario", "steps", "period_s", "settled", "settle_time_s", "final_delta_c",
+               "cg_iterations", "max_step_cg"});
+  table.set_precision(17);
+  for (const TimelineTrace& trace : result.traces) {
+    table.add_row({trace.scenario, static_cast<double>(trace.step_count()), trace.period,
+                   std::string(trace.settled ? "yes" : "no"), trace.settle_time,
+                   trace.final_delta, static_cast<double>(trace.stats.total_cg_iterations),
+                   static_cast<double>(trace.stats.max_cg_iterations)});
+  }
+  return table;
+}
+
+}  // namespace photherm::timeline

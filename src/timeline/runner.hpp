@@ -1,0 +1,56 @@
+/// \file runner.hpp
+/// \brief Batch transient playback: N scenarios dispatched onto the shared
+/// thread pool (util/thread_pool.hpp), traces collected in index order —
+/// results are bit-identical for every thread count, matching the
+/// BatchRunner guarantee of the steady-state scenario engine. The tables
+/// render the traces as the CLI's `play` CSV payloads.
+#pragma once
+
+#include <vector>
+
+#include "timeline/playback.hpp"
+#include "util/csv.hpp"
+
+namespace photherm::timeline {
+
+struct TimelineBatchOptions {
+  /// Concurrent scenario playbacks. 0 = util::concurrency(); 1 = serial.
+  std::size_t threads = 0;
+  PlaybackOptions playback;
+};
+
+struct TimelineBatchStats {
+  std::size_t scenario_count = 0;
+  std::size_t total_steps = 0;
+  std::size_t total_cg_iterations = 0;
+  std::size_t settled_count = 0;  ///< scenarios that reached steady state
+};
+
+struct TimelineBatchResult {
+  /// Index-aligned with the input scenario list.
+  std::vector<TimelineTrace> traces;
+  TimelineBatchStats stats;
+};
+
+class TimelineRunner {
+ public:
+  explicit TimelineRunner(TimelineBatchOptions options = {});
+
+  /// Play every scenario. Throws on an empty list or an invalid spec.
+  TimelineBatchResult run(const std::vector<scenario::ScenarioSpec>& scenarios) const;
+
+ private:
+  TimelineBatchOptions options_;
+};
+
+/// Long-format time series — the CLI's `play` CSV: one row per (scenario,
+/// step) with the shared probe columns. Full numeric precision, so the
+/// rendered CSV is bit-identical whenever the traces are. Requires every
+/// trace to carry the same probe names (true for suites built from one
+/// base); throws SpecError otherwise.
+Table timeline_table(const TimelineBatchResult& result);
+
+/// One summary row per scenario: step count, settle verdict and cost.
+Table timeline_summary_table(const TimelineBatchResult& result);
+
+}  // namespace photherm::timeline

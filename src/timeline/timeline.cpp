@@ -1,0 +1,66 @@
+#include "timeline/timeline.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace photherm::timeline {
+
+std::size_t PowerTimeline::steps_per_period() const {
+  std::size_t steps = 0;
+  for (const TimelineSegment& segment : segments) {
+    steps += segment.steps;
+  }
+  return steps;
+}
+
+double PowerTimeline::period() const {
+  return static_cast<double>(steps_per_period()) * time_step;
+}
+
+double PowerTimeline::scale_at_step(std::size_t step) const {
+  PH_REQUIRE(!segments.empty(), "empty timeline");
+  std::size_t offset = step % steps_per_period();
+  for (const TimelineSegment& segment : segments) {
+    if (offset < segment.steps) {
+      return segment.scale;
+    }
+    offset -= segment.steps;
+  }
+  return segments.back().scale;  // unreachable: offset < steps_per_period()
+}
+
+double PowerTimeline::average_scale() const {
+  PH_REQUIRE(!segments.empty(), "empty timeline");
+  double weighted = 0.0;
+  for (const TimelineSegment& segment : segments) {
+    weighted += segment.scale * static_cast<double>(segment.steps);
+  }
+  return weighted / static_cast<double>(steps_per_period());
+}
+
+PowerTimeline compile_timeline(const std::vector<power::ActivityPhase>& schedule,
+                               double time_step) {
+  PH_REQUIRE(time_step > 0.0, "timeline time step must be positive");
+  PowerTimeline timeline;
+  timeline.time_step = time_step;
+  if (schedule.empty()) {
+    timeline.segments.push_back({1.0, 1});
+    return timeline;
+  }
+  // Range checks (positive durations, non-negative scales) live in the
+  // ActivityTrace constructor; reuse them so the timeline and the
+  // steady-state duty fold accept exactly the same schedules.
+  const power::ActivityTrace checked(schedule);
+  (void)checked;
+  for (const power::ActivityPhase& phase : schedule) {
+    TimelineSegment segment;
+    segment.scale = phase.scale;
+    segment.steps = static_cast<std::size_t>(
+        std::max<long long>(1, std::llround(phase.duration / time_step)));
+    timeline.segments.push_back(segment);
+  }
+  return timeline;
+}
+
+}  // namespace photherm::timeline

@@ -1,0 +1,53 @@
+/// \file timeline.hpp
+/// \brief Compilation of a scenario's activity schedule into a
+/// piecewise-constant power timeline the transient playback can step
+/// through. The steady-state pipeline folds a schedule into one
+/// duty-averaged power (ScenarioSpec::effective_design); the timeline
+/// engine keeps it resolved in time instead: each phase becomes a segment
+/// of whole backward-Euler steps at that phase's power scale, and the
+/// segment list repeats periodically during playback.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/activity.hpp"
+
+namespace photherm::timeline {
+
+/// One run of consecutive steps at a constant power scale.
+struct TimelineSegment {
+  double scale = 1.0;      ///< multiplier on the scenario's modulated power
+  std::size_t steps = 1;   ///< whole time steps spent at this scale
+};
+
+/// A compiled schedule: one period of piecewise-constant segments on a
+/// fixed step size. Compilation is deterministic — the same (schedule,
+/// time_step) pair always yields the same segments.
+struct PowerTimeline {
+  std::vector<TimelineSegment> segments;
+  double time_step = 0.0;  ///< [s]
+
+  std::size_t steps_per_period() const;
+  double period() const;  ///< steps_per_period() * time_step [s]
+
+  /// Power scale applied during step `step` (0-based, wraps periodically).
+  double scale_at_step(std::size_t step) const;
+
+  /// Time-weighted mean scale over one period — matches the duty factor the
+  /// steady-state pipeline folds the schedule into *if* the phase durations
+  /// quantize exactly onto the step grid; otherwise it is the duty of the
+  /// quantized timeline actually played.
+  double average_scale() const;
+};
+
+/// Quantize a schedule onto the step grid: each phase becomes one segment of
+/// round(duration / time_step) steps (at least 1, so no phase vanishes). An
+/// empty schedule compiles to a single always-on segment of one step per
+/// period. Throws SpecError on a non-positive time step or on phases that
+/// the ActivityTrace validation rejects (non-positive durations, negative
+/// scales).
+PowerTimeline compile_timeline(const std::vector<power::ActivityPhase>& schedule,
+                               double time_step);
+
+}  // namespace photherm::timeline

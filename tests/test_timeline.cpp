@@ -1,0 +1,277 @@
+/// Timeline engine contracts: schedule compilation, standard probes,
+/// transient <-> steady-state equivalence (a constant-schedule playback must
+/// settle onto the steady solution), and the TimelineRunner determinism
+/// guarantee (traces bit-identical at 1 and 4 threads, the
+/// test_parallel_sweep pattern).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/methodology.hpp"
+#include "scenario/registry.hpp"
+#include "support/fixtures.hpp"
+#include "timeline/playback.hpp"
+#include "timeline/probe.hpp"
+#include "timeline/runner.hpp"
+#include "timeline/timeline.hpp"
+#include "util/error.hpp"
+
+namespace photherm {
+namespace {
+
+using scenario::ScenarioSpec;
+
+/// Small, coarse scenario for stepping tests: the shared coarse spec on the
+/// 4-ONI ring, ~1k global cells.
+ScenarioSpec coarse_scenario() {
+  ScenarioSpec s;
+  s.name = "coarse";
+  s.design = fixtures::coarse_onoc_spec();
+  return s;
+}
+
+template <typename T>
+void expect_bit_identical(const std::vector<T>& a, const std::vector<T>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)), 0) << what;
+}
+
+TEST(Timeline, EmptyScheduleCompilesToAlwaysOn) {
+  const timeline::PowerTimeline t = timeline::compile_timeline({}, 0.5);
+  ASSERT_EQ(t.segments.size(), 1u);
+  EXPECT_EQ(t.segments[0].scale, 1.0);
+  EXPECT_EQ(t.segments[0].steps, 1u);
+  EXPECT_EQ(t.steps_per_period(), 1u);
+  EXPECT_EQ(t.period(), 0.5);
+  EXPECT_EQ(t.average_scale(), 1.0);
+}
+
+TEST(Timeline, ScheduleQuantizesOntoTheStepGrid) {
+  const std::vector<power::ActivityPhase> schedule{{0.25, 1.0}, {0.3, 0.5}, {0.01, 0.0}};
+  const timeline::PowerTimeline t = timeline::compile_timeline(schedule, 0.05);
+  ASSERT_EQ(t.segments.size(), 3u);
+  EXPECT_EQ(t.segments[0].steps, 5u);
+  EXPECT_EQ(t.segments[1].steps, 6u);
+  EXPECT_EQ(t.segments[2].steps, 1u);  // shorter than a step, still played
+  EXPECT_EQ(t.steps_per_period(), 12u);
+  EXPECT_DOUBLE_EQ(t.period(), 0.6);
+  // Scale lookup wraps periodically.
+  EXPECT_EQ(t.scale_at_step(0), 1.0);
+  EXPECT_EQ(t.scale_at_step(5), 0.5);
+  EXPECT_EQ(t.scale_at_step(11), 0.0);
+  EXPECT_EQ(t.scale_at_step(12), 1.0);
+  // Duty of the *quantized* timeline.
+  EXPECT_DOUBLE_EQ(t.average_scale(), (5.0 * 1.0 + 6.0 * 0.5) / 12.0);
+}
+
+TEST(Timeline, CompileRejectsBadInput) {
+  EXPECT_THROW(timeline::compile_timeline({}, 0.0), Error);
+  EXPECT_THROW(timeline::compile_timeline({{-1.0, 0.5}}, 0.1), Error);
+  EXPECT_THROW(timeline::compile_timeline({{1.0, -0.5}}, 0.1), Error);
+}
+
+TEST(Timeline, StandardProbesCoverChipTilesAndOnis) {
+  const core::ThermalAwareDesigner designer(coarse_scenario().design);
+  const soc::SccSystem system = designer.build_system();
+  const timeline::ProbeSet probes = timeline::ProbeSet::standard(system);
+
+  const std::vector<std::string> names = probes.names();
+  ASSERT_EQ(names.size(), 3u + system.onis.size());
+  EXPECT_EQ(names[0], "chip_avg");
+  EXPECT_EQ(names[1], "tile_hottest");
+  EXPECT_EQ(names[2], "die_gradient");
+  EXPECT_EQ(names[3], "oni0_mr");
+
+  // Sampling a solved field is ordered, finite and physically sensible:
+  // the hottest tile is at least the chip average, the gradient positive.
+  const core::CoarseGlobalSolve global = designer.solve_global();
+  const std::vector<double> samples = probes.sample(global.field);
+  ASSERT_EQ(samples.size(), names.size());
+  EXPECT_GE(samples[1], samples[0]);
+  EXPECT_GT(samples[2], 0.0);
+  for (double s : samples) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(Timeline, ConstantScheduleSettlesToTheSteadyStateField) {
+  ScenarioSpec s = coarse_scenario();
+  s.schedule = {{1.0, 1.0}};  // constant full power
+
+  timeline::PlaybackOptions options;
+  options.time_step = 2.0;  // L-stable backward Euler: big steps are fine
+  options.max_periods = 2000;
+  options.settle_tolerance = 0.05;
+  options.stop_on_settle = true;
+  const timeline::TimelineTrace trace = timeline::play_scenario(s, options);
+
+  EXPECT_TRUE(trace.settled);
+  EXPECT_GT(trace.settle_time, 0.0);
+  EXPECT_LE(trace.final_delta, options.settle_tolerance);
+  EXPECT_EQ(trace.settle_step + 1, trace.step_count());  // stopped at settle
+
+  // Independent cross-check: the last chip-average sample must match the
+  // steady-state pipeline's own coarse solve of the same scene.
+  const core::ThermalAwareDesigner designer(s.design);
+  const core::CoarseGlobalSolve global = designer.solve_global();
+  geometry::Box3 heat_layer = global.system.scene.bounding_box();
+  heat_layer.lo.z = global.system.z.heat_lo;
+  heat_layer.hi.z = global.system.z.heat_hi;
+  const double steady_chip_avg = global.field.average_in(heat_layer);
+  EXPECT_NEAR(trace.samples.back()[0], steady_chip_avg, options.settle_tolerance);
+}
+
+TEST(Timeline, BurstPlaybackTracksTheDutyAveragedSteadyState) {
+  // A 50% square-wave burst must converge (up to its ripple) onto the same
+  // operating point the steady-state pipeline computes from the duty fold
+  // (ScenarioSpec::effective_design halves the chip power).
+  ScenarioSpec s = coarse_scenario();
+  s.schedule = {{0.5, 1.0}, {0.5, 0.0}};
+
+  timeline::PlaybackOptions options;
+  options.time_step = 0.5;
+  options.max_periods = 250;  // 250 s — several package time constants
+  options.stop_on_settle = false;
+  const timeline::TimelineTrace trace = timeline::play_scenario(s, options);
+  ASSERT_EQ(trace.step_count(), 500u);
+
+  const core::ThermalAwareDesigner effective(s.effective_design());
+  const core::CoarseGlobalSolve global = effective.solve_global();
+  geometry::Box3 heat_layer = global.system.scene.bounding_box();
+  heat_layer.lo.z = global.system.z.heat_lo;
+  heat_layer.hi.z = global.system.z.heat_hi;
+  const double duty_steady_chip_avg = global.field.average_in(heat_layer);
+
+  // Cycle-average the last period (one on-step, one off-step) to cancel the
+  // ripple, then compare against the duty-averaged steady chip average.
+  const std::size_t last = trace.step_count() - 1;
+  const double cycle_avg = (trace.samples[last][0] + trace.samples[last - 1][0]) / 2.0;
+  EXPECT_NEAR(cycle_avg, duty_steady_chip_avg, 0.5);
+  // The ripple never settles below a tight tolerance — the detector must
+  // not report a false settle against the duty-averaged field.
+  EXPECT_GT(trace.final_delta, 0.0);
+}
+
+TEST(Timeline, RunnerTracesAreBitIdenticalAcrossThreadCounts) {
+  std::vector<ScenarioSpec> suite;
+  for (double scale : {1.0, 0.5, 0.25}) {
+    ScenarioSpec s = coarse_scenario();
+    s.name = "step_" + std::to_string(scale);
+    s.schedule = {{0.4, scale}, {0.2, 0.1}};
+    suite.push_back(std::move(s));
+  }
+
+  const auto at = [&](std::size_t threads) {
+    timeline::TimelineBatchOptions options;
+    options.threads = threads;
+    options.playback.time_step = 0.2;
+    options.playback.max_periods = 3;
+    options.playback.stop_on_settle = false;  // fixed horizon: equal shapes
+    return timeline::TimelineRunner(options).run(suite);
+  };
+  const timeline::TimelineBatchResult serial = at(1);
+  const timeline::TimelineBatchResult threaded = at(4);
+
+  ASSERT_EQ(serial.traces.size(), suite.size());
+  EXPECT_EQ(serial.stats.total_steps, threaded.stats.total_steps);
+  EXPECT_EQ(serial.stats.total_cg_iterations, threaded.stats.total_cg_iterations);
+  for (std::size_t i = 0; i < serial.traces.size(); ++i) {
+    const timeline::TimelineTrace& a = serial.traces[i];
+    const timeline::TimelineTrace& b = threaded.traces[i];
+    EXPECT_EQ(a.scenario, suite[i].name);  // index-ordered collection
+    EXPECT_EQ(a.scenario, b.scenario);
+    expect_bit_identical(a.times, b.times, "times");
+    expect_bit_identical(a.power_scale, b.power_scale, "power_scale");
+    expect_bit_identical(a.cg_iterations, b.cg_iterations, "cg_iterations");
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t k = 0; k < a.samples.size(); ++k) {
+      expect_bit_identical(a.samples[k], b.samples[k], "samples");
+    }
+    EXPECT_EQ(a.settled, b.settled);
+    EXPECT_EQ(a.settle_time, b.settle_time);
+    EXPECT_EQ(a.final_delta, b.final_delta);
+  }
+
+  // The rendered CSV payload is therefore bit-identical too.
+  EXPECT_EQ(timeline::timeline_table(serial).to_csv(),
+            timeline::timeline_table(threaded).to_csv());
+}
+
+TEST(Timeline, WarmStartCutsCgIterations) {
+  ScenarioSpec s = coarse_scenario();
+  s.schedule = {{1.0, 1.0}};
+
+  timeline::PlaybackOptions options;
+  options.time_step = 1.0;
+  options.max_periods = 30;
+  options.stop_on_settle = false;
+
+  timeline::PlaybackOptions cold = options;
+  cold.warm_start = false;
+  const timeline::TimelineTrace warm_trace = timeline::play_scenario(s, options);
+  const timeline::TimelineTrace cold_trace = timeline::play_scenario(s, cold);
+
+  ASSERT_EQ(warm_trace.step_count(), cold_trace.step_count());
+  EXPECT_LT(warm_trace.stats.total_cg_iterations, cold_trace.stats.total_cg_iterations);
+  // Same physics either way: the final fields agree to solver tolerance.
+  for (std::size_t p = 0; p < warm_trace.probe_names.size(); ++p) {
+    EXPECT_NEAR(warm_trace.samples.back()[p], cold_trace.samples.back()[p], 1e-6);
+  }
+}
+
+TEST(Timeline, TablesRenderTheTraces) {
+  std::vector<ScenarioSpec> suite{coarse_scenario()};
+  suite[0].schedule = {{0.4, 1.0}};
+
+  timeline::TimelineBatchOptions options;
+  options.playback.time_step = 0.2;
+  options.playback.max_periods = 2;
+  options.playback.stop_on_settle = false;
+  const timeline::TimelineBatchResult result = timeline::TimelineRunner(options).run(suite);
+
+  const Table series = timeline::timeline_table(result);
+  EXPECT_EQ(series.row_count(), result.stats.total_steps);
+  EXPECT_EQ(series.column_count(), 4u + result.traces[0].probe_names.size());
+
+  const Table summary = timeline::timeline_summary_table(result);
+  EXPECT_EQ(summary.row_count(), suite.size());
+}
+
+TEST(TimelineRegistry, TransientFamiliesAndSuiteAreRegistered) {
+  const std::vector<std::string> families = scenario::family_names();
+  EXPECT_NE(std::find(families.begin(), families.end(), "transient_step"), families.end());
+  EXPECT_NE(std::find(families.begin(), families.end(), "transient_burst"), families.end());
+
+  const std::vector<std::string> suites = scenario::builtin_suite_names();
+  EXPECT_NE(std::find(suites.begin(), suites.end(), "transient"), suites.end());
+
+  const std::vector<ScenarioSpec> suite = scenario::builtin_suite("transient");
+  ASSERT_EQ(suite.size(), 4u);
+  for (const ScenarioSpec& s : suite) {
+    EXPECT_FALSE(s.schedule.empty()) << s.name;
+  }
+
+  // Families validate their parameters.
+  scenario::FamilySpec bad{"transient_burst", "", ScenarioSpec{}, {1.5}};
+  EXPECT_THROW(scenario::expand_family(bad), Error);
+}
+
+TEST(TimelineRegistry, RunnerRejectsEmptyAndInvalidInput) {
+  timeline::TimelineRunner runner;
+  EXPECT_THROW(runner.run({}), Error);
+
+  ScenarioSpec broken = coarse_scenario();
+  broken.name = "broken";
+  broken.design.global_cell_xy = -1.0;
+  try {
+    runner.run({broken});
+    FAIL() << "invalid design must throw";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace photherm

@@ -98,6 +98,90 @@ TEST(Transient, PowerScaleHalvesEquilibriumRise) {
   EXPECT_NEAR(rise_half, rise_full / 2.0, 0.02 * rise_full);
 }
 
+TEST(Transient, StateIsAReferenceNotACopy) {
+  Rig rig = make_rig(0.5);
+  TransientSolver solver(rig.mesh, rig.bcs, {});
+  solver.set_uniform_state(25.0);
+  // state() hands out the internally maintained field; repeated calls must
+  // not allocate fresh copies (the old accessor returned by value).
+  const ThermalField& a = solver.state();
+  const ThermalField& b = solver.state();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.global_max(), 25.0);
+  solver.step();
+  EXPECT_EQ(&solver.state(), &a);  // same object, updated in place
+  EXPECT_GT(a.global_max(), 25.0);
+}
+
+TEST(Transient, StatsTrackStepsAndIterations) {
+  Rig rig = make_rig(0.5);
+  TransientOptions options;
+  options.time_step = 1e-3;
+  TransientSolver solver(rig.mesh, rig.bcs, options);
+  solver.set_uniform_state(25.0);
+  EXPECT_EQ(solver.stats().steps, 0u);
+  EXPECT_EQ(solver.last_solve().iterations, 0u);
+  solver.advance(3);
+  const TransientStats& stats = solver.stats();
+  EXPECT_EQ(stats.steps, 3u);
+  EXPECT_GT(stats.total_cg_iterations, 0u);
+  EXPECT_GE(stats.total_cg_iterations, stats.max_cg_iterations);
+  EXPECT_TRUE(solver.last_solve().converged);
+  EXPECT_LE(solver.last_solve().iterations, stats.max_cg_iterations);
+}
+
+TEST(Transient, WarmStartCutsIterationsAndAgreesWithColdStart) {
+  Rig rig = make_rig(0.5);
+  TransientOptions warm_options;
+  warm_options.time_step = 2e-3;
+  TransientOptions cold_options = warm_options;
+  cold_options.warm_start = false;
+
+  TransientSolver warm(rig.mesh, rig.bcs, warm_options);
+  warm.set_uniform_state(25.0);
+  TransientSolver cold(rig.mesh, rig.bcs, cold_options);
+  cold.set_uniform_state(25.0);
+  const ThermalField warm_field = warm.advance(20);
+  const ThermalField cold_field = cold.advance(20);
+
+  // Seeding CG with the previous state must be cheaper than restarting from
+  // zero every step, and the physics must agree to solver tolerance.
+  EXPECT_LT(warm.stats().total_cg_iterations, cold.stats().total_cg_iterations);
+  EXPECT_NEAR(warm_field.global_max(), cold_field.global_max(), 1e-6);
+  EXPECT_NEAR(warm_field.global_min(), cold_field.global_min(), 1e-6);
+}
+
+TEST(Transient, SetPowerMatchesPowerScale) {
+  Rig rig = make_rig(0.5);
+  TransientOptions options;
+  options.time_step = 2e-3;
+
+  TransientSolver scaled(rig.mesh, rig.bcs, options);
+  scaled.set_uniform_state(25.0);
+  scaled.set_power_scale(0.5);
+
+  TransientSolver replaced(rig.mesh, rig.bcs, options);
+  replaced.set_uniform_state(25.0);
+  math::Vector halved = replaced.power();
+  for (double& p : halved) {
+    p *= 0.5;
+  }
+  replaced.set_power(halved);
+
+  // Same rhs either way, so the trajectories are bit-identical.
+  for (int step = 0; step < 5; ++step) {
+    const ThermalField& a = scaled.step();
+    const ThermalField& b = replaced.step();
+    ASSERT_EQ(a.temperatures(), b.temperatures()) << "step " << step;
+  }
+}
+
+TEST(Transient, SetPowerValidatesTheSize) {
+  Rig rig = make_rig(0.5);
+  TransientSolver solver(rig.mesh, rig.bcs, {});
+  EXPECT_THROW(solver.set_power(math::Vector(3, 0.0)), Error);
+}
+
 TEST(Transient, Validation) {
   Rig rig = make_rig(0.1);
   TransientOptions options;

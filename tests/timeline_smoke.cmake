@@ -1,0 +1,35 @@
+# CTest smoke run of the photherm_cli timeline playback, invoked as
+#   cmake -DPHOTHERM_CLI=... -DGOLDEN=... -DWORK_DIR=... -P timeline_smoke.cmake
+# Flow: play the builtin transient suite over a fixed horizon twice (serial
+# vs threaded — the time-series CSVs must be bit-identical, the
+# TimelineRunner determinism guarantee), then compare against the checked-in
+# golden CSV within a numeric tolerance (absorbs cross-platform
+# floating-point drift while still catching real regressions).
+
+foreach(var PHOTHERM_CLI GOLDEN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "timeline_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_cli)
+  execute_process(COMMAND ${PHOTHERM_CLI} ${ARGN} RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "photherm_cli ${ARGN} failed with exit code ${rv}")
+  endif()
+endfunction()
+
+set(play_args play builtin:transient --dt 0.2 --periods 5)
+run_cli(${play_args} --threads 1 -o ${WORK_DIR}/serial.csv)
+run_cli(${play_args} --threads 4 -o ${WORK_DIR}/threaded.csv)
+
+file(READ ${WORK_DIR}/serial.csv serial_csv)
+file(READ ${WORK_DIR}/threaded.csv threaded_csv)
+if(NOT serial_csv STREQUAL threaded_csv)
+  message(FATAL_ERROR "timeline playback is not bit-identical between "
+                      "1 and 4 threads")
+endif()
+
+run_cli(diff ${GOLDEN} ${WORK_DIR}/serial.csv --tol 1e-4)

@@ -9,6 +9,14 @@
 ///       Run the batch and emit one CSV row per scenario. Output is
 ///       bit-identical across thread counts and with the coarse-solve cache
 ///       on or off; cache statistics go to stderr.
+///   photherm_cli play <suite> [--dt SEC] [--periods N] [--tol DEGC]
+///                     [--until-settle] [--cold-start] [--summary]
+///                     [--threads N] [-o FILE]
+///       Transient playback of every scenario's activity schedule (timeline
+///       engine): emit the time-series CSV (one row per step, probe columns)
+///       or, with --summary, one settle-report row per scenario. Output is
+///       bit-identical across thread counts; stepping statistics go to
+///       stderr.
 ///   photherm_cli diff <a.csv> <b.csv> [--tol REL]
 ///       Compare two CSV files cell by cell; numeric cells match within the
 ///       relative tolerance (default 0 = exact), text cells exactly.
@@ -17,6 +25,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -25,6 +34,7 @@
 #include "scenario/batch_runner.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
+#include "timeline/runner.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -39,6 +49,10 @@ int usage(std::ostream& os, int exit_code) {
         "  expand <suite> [-o FILE]                 expand to a scenario file\n"
         "  run <suite> [--threads N] [--no-cache] [-o FILE]\n"
         "                                           run the batch, emit CSV\n"
+        "  play <suite> [--dt SEC] [--periods N] [--tol DEGC] [--until-settle]\n"
+        "               [--cold-start] [--summary] [--threads N] [-o FILE]\n"
+        "                                           transient playback, emit\n"
+        "                                           time-series CSV\n"
         "  diff <a.csv> <b.csv> [--tol REL]         numeric CSV comparison\n"
         "a <suite> is a scenario file path or builtin:<name> (see `list`).\n";
   return exit_code;
@@ -64,26 +78,31 @@ void write_output(const std::optional<std::string>& path, const std::string& pay
   PH_REQUIRE(out.good(), "failed while writing output file: " + *path);
 }
 
-/// Pop `--flag value` style options shared by expand/run.
+/// Pop `--flag value` style options shared by expand/run/play.
 struct CommonArgs {
   std::string suite;
   std::optional<std::string> out_path;
   std::size_t threads = 0;
-  bool no_cache = false;
 };
 
-CommonArgs parse_common(const std::vector<std::string>& args, const std::string& command) {
+/// `extra` (optional) consumes command-specific flags: it is offered each
+/// option first and returns true when it handled it (advancing `i` past any
+/// value it popped).
+CommonArgs parse_common(
+    const std::vector<std::string>& args, const std::string& command,
+    const std::function<bool(const std::string&, std::size_t&)>& extra = {}) {
   CommonArgs parsed;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
+    if (extra && extra(arg, i)) {
+      continue;
+    }
     if (arg == "-o" || arg == "--out") {
       PH_REQUIRE(i + 1 < args.size(), arg + " needs a file path");
       parsed.out_path = args[++i];
     } else if (arg == "--threads") {
       PH_REQUIRE(i + 1 < args.size(), "--threads needs a count");
       parsed.threads = static_cast<std::size_t>(parse_uint(args[++i], "--threads"));
-    } else if (arg == "--no-cache") {
-      parsed.no_cache = true;
     } else if (!arg.empty() && arg[0] == '-') {
       throw SpecError("unknown option `" + arg + "` for " + command);
     } else {
@@ -118,18 +137,83 @@ int cmd_expand(const std::vector<std::string>& args) {
 }
 
 int cmd_run(const std::vector<std::string>& args) {
-  const CommonArgs parsed = parse_common(args, "run");
+  bool no_cache = false;
+  const CommonArgs parsed =
+      parse_common(args, "run", [&no_cache](const std::string& arg, std::size_t&) {
+        if (arg == "--no-cache") {
+          no_cache = true;
+          return true;
+        }
+        return false;
+      });
   const auto scenarios = resolve_suite(parsed.suite);
 
   scenario::BatchOptions options;
   options.threads = parsed.threads;
-  options.share_global_solves = !parsed.no_cache;
+  options.share_global_solves = !no_cache;
   const scenario::BatchResult result = scenario::BatchRunner(options).run(scenarios);
 
   write_output(parsed.out_path, scenario::batch_table(scenarios, result).to_csv());
   std::cerr << "ran " << result.stats.scenario_count << " scenarios: "
             << result.stats.global_solves << " coarse global solves, "
             << result.stats.cache_hits << " cache hits\n";
+  return 0;
+}
+
+int cmd_play(const std::vector<std::string>& args) {
+  bool summary = false;
+  bool until_settle = false;
+  std::optional<std::size_t> periods;
+  timeline::PlaybackOptions playback;
+
+  const CommonArgs parsed =
+      parse_common(args, "play", [&](const std::string& arg, std::size_t& i) {
+        const auto value = [&](const char* what) -> const std::string& {
+          PH_REQUIRE(i + 1 < args.size(), std::string(what) + " needs a value");
+          return args[++i];
+        };
+        if (arg == "--dt") {
+          playback.time_step = parse_double(value("--dt"), "--dt");
+        } else if (arg == "--periods") {
+          periods = static_cast<std::size_t>(parse_uint(value("--periods"), "--periods"));
+        } else if (arg == "--tol") {
+          playback.settle_tolerance = parse_double(value("--tol"), "--tol");
+        } else if (arg == "--until-settle") {
+          until_settle = true;
+        } else if (arg == "--cold-start") {
+          playback.warm_start = false;
+        } else if (arg == "--summary") {
+          summary = true;
+        } else {
+          return false;
+        }
+        return true;
+      });
+
+  // Fixed-horizon by default (stop_on_settle off, 40 periods) so the CSV
+  // shape is schedule-determined — what the golden smoke test pins down.
+  // --until-settle keeps the library's long horizon (PlaybackOptions
+  // default) so slow-settling scenarios actually reach their settle time;
+  // an explicit --periods overrides either cap.
+  playback.stop_on_settle = until_settle;
+  if (periods) {
+    playback.max_periods = *periods;
+  } else if (!until_settle) {
+    playback.max_periods = 40;
+  }
+
+  const auto scenarios = resolve_suite(parsed.suite);
+  timeline::TimelineBatchOptions options;
+  options.threads = parsed.threads;
+  options.playback = playback;
+  const timeline::TimelineBatchResult result = timeline::TimelineRunner(options).run(scenarios);
+
+  const Table table =
+      summary ? timeline::timeline_summary_table(result) : timeline::timeline_table(result);
+  write_output(parsed.out_path, table.to_csv());
+  std::cerr << "played " << result.stats.scenario_count << " scenarios: "
+            << result.stats.total_steps << " steps, " << result.stats.total_cg_iterations
+            << " CG iterations, " << result.stats.settled_count << " settled\n";
   return 0;
 }
 
@@ -229,6 +313,9 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       return cmd_run(rest);
+    }
+    if (command == "play") {
+      return cmd_play(rest);
     }
     if (command == "diff") {
       return cmd_diff(rest);
