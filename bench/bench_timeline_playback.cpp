@@ -1,9 +1,14 @@
-/// Timeline playback throughput and the warm-start payoff: play the builtin
-/// transient suite over a fixed horizon with the per-step CG solves seeded
-/// from the previous state (the TransientSolver default) and from zero
-/// (--cold-start equivalent), and report steps/sec plus the iteration
-/// savings. The savings grow as the field approaches steady state — near
-/// settle a warm-started step converges in a handful of iterations.
+/// Timeline playback throughput and the two big cost levers:
+///
+///  - the warm-start payoff: play the builtin transient suite over a fixed
+///    horizon with the per-step CG solves seeded from the previous state
+///    (the TransientSolver default) and from zero (--cold-start
+///    equivalent), and report steps/sec plus the iteration savings — the
+///    savings grow as the field approaches steady state;
+///  - the adaptive-dt payoff: play the settle-bound builtin soak suite
+///    until settle on the fixed grid and with adaptive stepping, and
+///    report linear solves (steps), total CG iterations, steps/sec and
+///    the matrix reassemblies the growth cost.
 #include <chrono>
 #include <iostream>
 
@@ -20,12 +25,10 @@ struct Run {
   double seconds = 0.0;
 };
 
-Run play(const std::vector<scenario::ScenarioSpec>& suite, bool warm_start) {
+Run play(const std::vector<scenario::ScenarioSpec>& suite,
+         const timeline::PlaybackOptions& playback) {
   timeline::TimelineBatchOptions options;
-  options.playback.time_step = 0.2;
-  options.playback.max_periods = 60;
-  options.playback.stop_on_settle = false;  // equal horizons for both modes
-  options.playback.warm_start = warm_start;
+  options.playback = playback;
   const auto start = std::chrono::steady_clock::now();
   Run run;
   run.result = timeline::TimelineRunner(options).run(suite);
@@ -33,22 +36,30 @@ Run play(const std::vector<scenario::ScenarioSpec>& suite, bool warm_start) {
   return run;
 }
 
+void add_row(Table& table, const char* mode, const Run& run) {
+  const double steps = static_cast<double>(run.result.stats.total_steps);
+  const double iters = static_cast<double>(run.result.stats.total_cg_iterations);
+  table.add_row({std::string(mode), steps, iters, iters / steps, steps / run.seconds});
+}
+
 }  // namespace
 
 int main() {
   const std::vector<scenario::ScenarioSpec> suite = scenario::builtin_suite("transient");
-  const Run warm = play(suite, true);
-  const Run cold = play(suite, false);
+
+  timeline::PlaybackOptions fixed_horizon;
+  fixed_horizon.time_step = 0.2;
+  fixed_horizon.max_periods = 60;
+  fixed_horizon.stop_on_settle = false;  // equal horizons for both modes
+  timeline::PlaybackOptions cold_start = fixed_horizon;
+  cold_start.warm_start = false;
+
+  const Run warm = play(suite, fixed_horizon);
+  const Run cold = play(suite, cold_start);
 
   Table table({"mode", "steps", "CG iterations", "iters/step", "steps/sec"});
-  const auto add = [&table](const char* mode, const Run& run) {
-    const double steps = static_cast<double>(run.result.stats.total_steps);
-    const double iters = static_cast<double>(run.result.stats.total_cg_iterations);
-    table.add_row({std::string(mode), steps, iters, iters / steps,
-                   steps / run.seconds});
-  };
-  add("warm start", warm);
-  add("cold start", cold);
+  add_row(table, "warm start", warm);
+  add_row(table, "cold start", cold);
   print_table(std::cout, "timeline playback (builtin:transient, fixed 60-period horizon)", table);
 
   const double saved =
@@ -58,8 +69,39 @@ int main() {
             << "horizon (the margin widens near settle, where a warm step costs O(1) "
             << "iterations)\n";
 
-  Table summary = timeline::timeline_summary_table(warm.result);
+  // Settle-bound horizon: the adaptive scheme grows the step while the
+  // field crawls, so the same settled field costs a small, horizon-
+  // independent number of linear solves (one per step).
+  const std::vector<scenario::ScenarioSpec> soak = scenario::builtin_suite("soak");
+  timeline::PlaybackOptions until_settle;
+  until_settle.time_step = 0.2;
+  until_settle.stop_on_settle = true;
+  timeline::PlaybackOptions adaptive = until_settle;
+  adaptive.adaptive = true;
+
+  const Run fixed_run = play(soak, until_settle);
+  const Run adaptive_run = play(soak, adaptive);
+
+  Table soak_table({"mode", "steps", "CG iterations", "iters/step", "steps/sec"});
+  add_row(soak_table, "fixed dt", fixed_run);
+  add_row(soak_table, "adaptive dt", adaptive_run);
+  print_table(std::cout, "settle-bound playback (builtin:soak, play until settle)", soak_table);
+
+  std::size_t reassemblies = 0;
+  for (const timeline::TimelineTrace& trace : adaptive_run.result.traces) {
+    reassemblies += trace.stats.reassemblies;
+  }
+  const double solve_ratio = static_cast<double>(fixed_run.result.stats.total_steps) /
+                             static_cast<double>(adaptive_run.result.stats.total_steps);
+  const double iter_ratio =
+      static_cast<double>(fixed_run.result.stats.total_cg_iterations) /
+      static_cast<double>(adaptive_run.result.stats.total_cg_iterations);
+  std::cout << "adaptive dt reaches the same settled field with " << solve_ratio
+            << "x fewer linear solves (" << iter_ratio << "x fewer CG iterations), "
+            << "paying " << reassemblies << " stepping-matrix reassemblies for the growth\n";
+
+  Table summary = timeline::timeline_summary_table(adaptive_run.result);
   summary.set_precision(6);
-  print_table(std::cout, "per-scenario trace summary (warm start)", summary);
+  print_table(std::cout, "per-scenario trace summary (adaptive)", summary);
   return 0;
 }

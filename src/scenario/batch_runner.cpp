@@ -1,5 +1,6 @@
 #include "scenario/batch_runner.hpp"
 
+#include <exception>
 #include <optional>
 #include <unordered_map>
 
@@ -38,7 +39,8 @@ BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
         n, 1,
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
-            result.reports[i] = designers[i].run();
+            with_error_context("scenario `" + scenarios[i].name + "`",
+                               [&] { result.reports[i] = designers[i].run(); });
           }
         },
         options_.threads);
@@ -71,7 +73,8 @@ BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
       representative.size(), 1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t g = begin; g < end; ++g) {
-          globals[g] = designers[representative[g]].solve_global();
+          with_error_context("scenario `" + scenarios[representative[g]].name + "`",
+                             [&] { globals[g] = designers[representative[g]].solve_global(); });
         }
       },
       options_.threads);
@@ -82,7 +85,9 @@ BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
       n, 1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          result.reports[i] = designers[i].run(*globals[group_of[i]]);
+          with_error_context(
+              "scenario `" + scenarios[i].name + "`",
+              [&] { result.reports[i] = designers[i].run(*globals[group_of[i]]); });
         }
       },
       options_.threads);

@@ -124,6 +124,24 @@ std::vector<ScenarioSpec> expand_transient_burst(const FamilySpec& request) {
   return out;
 }
 
+std::vector<ScenarioSpec> expand_transient_soak(const FamilySpec& request) {
+  const std::vector<double> scales =
+      request.values.empty() ? std::vector<double>{1.0, 0.5} : request.values;
+  std::vector<ScenarioSpec> out;
+  for (double scale : scales) {
+    PH_REQUIRE(scale >= 0.0, "transient_soak scale must be non-negative");
+    ScenarioSpec s = request.base;
+    s.name = request.prefix + "_s" + name_suffix(scale);
+    // One long constant hold (a full minute — several package time
+    // constants): the settle-bound workload the adaptive-dt playback is
+    // built for. Fixed-grid playback pays horizon/dt solves here; adaptive
+    // playback finishes orders of magnitude sooner.
+    s.schedule = {{60.0, scale}};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::vector<ScenarioSpec> expand_wdm_ladder(const FamilySpec& request) {
   const std::vector<double> channels =
       request.values.empty() ? std::vector<double>{4.0, 8.0, 16.0} : request.values;
@@ -164,6 +182,9 @@ const std::vector<Family>& families() {
       {"transient_burst", "square-wave traffic bursts (1 s period, 10% idle floor) for "
                           "the timeline engine; default duty ladder 0.25/0.5/0.75",
        expand_transient_burst},
+      {"transient_soak", "long-horizon constant holds (60 s) — settle-bound workloads "
+                         "for adaptive-dt playback; default scale ladder 1/0.5",
+       expand_transient_soak},
   };
   return table;
 }
@@ -231,7 +252,9 @@ std::vector<ScenarioSpec> expand_family(const FamilySpec& request) {
   return expanded;
 }
 
-std::vector<std::string> builtin_suite_names() { return {"smoke", "corners", "transient"}; }
+std::vector<std::string> builtin_suite_names() {
+  return {"smoke", "corners", "transient", "soak"};
+}
 
 std::vector<ScenarioSpec> builtin_suite(const std::string& name) {
   if (name == "smoke") {
@@ -253,6 +276,10 @@ std::vector<ScenarioSpec> builtin_suite(const std::string& name) {
     FamilySpec step{"transient_step", "", base, {1.0, 0.5}};
     FamilySpec burst{"transient_burst", "", base, {0.5, 0.25}};
     return append(expand_family(step), expand_family(burst));
+  }
+  if (name == "soak") {
+    FamilySpec soak{"transient_soak", "", suite_base(3e-3, 40e-6), {}};
+    return expand_family(soak);
   }
   throw SpecError("unknown built-in suite `" + name + "`; known suites: " +
                   join(builtin_suite_names(), ", "));

@@ -1,11 +1,9 @@
 #include "scenario/scenario.hpp"
 
-#include <charconv>
 #include <fstream>
 #include <functional>
 #include <set>
 #include <sstream>
-#include <system_error>
 
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -14,15 +12,10 @@ namespace photherm::scenario {
 
 namespace {
 
-/// Shortest decimal spelling that parses back to exactly the same double
-/// (std::to_chars round-trip guarantee), so serialize/parse is bit-identical
-/// while common values stay readable ("0.3", not "0.29999999999999999").
-std::string fmt(double value) {
-  char buf[64];
-  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), value);
-  PH_REQUIRE(r.ec == std::errc(), "cannot format a double");
-  return std::string(buf, r.ptr);
-}
+/// Shortest round-trip spelling (util::format_shortest): serialize/parse is
+/// bit-identical while common values stay readable ("0.3", not
+/// "0.29999999999999999").
+std::string fmt(double value) { return format_shortest(value); }
 
 std::string fmt_schedule(const std::vector<power::ActivityPhase>& schedule) {
   std::vector<std::string> parts;

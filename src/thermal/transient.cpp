@@ -1,10 +1,20 @@
 #include "thermal/transient.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
 namespace photherm::thermal {
+
+TransientStats operator+(const TransientStats& a, const TransientStats& b) {
+  TransientStats sum;
+  sum.steps = a.steps + b.steps;
+  sum.total_cg_iterations = a.total_cg_iterations + b.total_cg_iterations;
+  sum.max_cg_iterations = std::max(a.max_cg_iterations, b.max_cg_iterations);
+  sum.reassemblies = a.reassemblies + b.reassemblies;
+  return sum;
+}
 
 namespace {
 math::CsrMatrix add_capacitance(const math::CsrMatrix& a, const math::Vector& capacitance,
@@ -85,6 +95,21 @@ const ThermalField& TransientSolver::advance(std::size_t n) {
     step();
   }
   return step();
+}
+
+void TransientSolver::set_time_step(double dt) {
+  PH_REQUIRE(dt > 0.0 && std::isfinite(dt), "time step must be positive and finite");
+  if (dt == options_.time_step) {
+    return;
+  }
+  options_.time_step = dt;
+  stepping_matrix_ = add_capacitance(system_.matrix, system_.capacitance, dt);
+  stats_.reassemblies += 1;
+}
+
+void TransientSolver::set_time(double time) {
+  PH_REQUIRE(time >= 0.0 && std::isfinite(time), "time must be non-negative and finite");
+  time_ = time;
 }
 
 void TransientSolver::set_power_scale(double scale) {

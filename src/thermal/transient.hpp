@@ -39,7 +39,15 @@ struct TransientStats {
   std::size_t steps = 0;
   std::size_t total_cg_iterations = 0;
   std::size_t max_cg_iterations = 0;  ///< worst single step
+  /// Stepping-matrix rebuilds triggered by set_time_step (adaptive dt).
+  /// The construction-time assembly is not counted.
+  std::size_t reassemblies = 0;
 };
+
+/// Element-wise accumulation (max for the worst-step figure). The timeline
+/// checkpoint machinery folds the cost of a resumed playback's earlier
+/// session into the fresh solver's counters with this.
+TransientStats operator+(const TransientStats& a, const TransientStats& b);
 
 /// Steps T(t) forward with backward Euler:
 ///   (C/dt + A) T_{n+1} = (C/dt) T_n + q.
@@ -78,6 +86,19 @@ class TransientSolver {
 
   /// Injected power per cell currently applied (before power_scale).
   const math::Vector& power() const { return power_; }
+
+  /// Change the step size; takes effect on the next step. Rebuilds the
+  /// stepping matrix C/dt + A (the only dt-dependent state) — the one
+  /// genuinely expensive part of a dt change, so adaptive stepping calls
+  /// this rarely (geometric growth) and never per step. Counted in
+  /// stats().reassemblies. The state, time, power and rhs split are
+  /// untouched; a no-op when `dt` already is the current step.
+  void set_time_step(double dt);
+  double time_step() const { return options_.time_step; }
+
+  /// Restore the simulation clock (checkpoint resume): the next step ends
+  /// at `time + time_step()`. Must be non-negative and finite.
+  void set_time(double time);
 
   double time() const { return time_; }
   const ThermalField& state() const { return *field_; }

@@ -40,6 +40,22 @@ namespace detail {
 }
 }  // namespace detail
 
+/// Run `fn`, rethrowing any std::exception as a photherm::Error with
+/// `context` prepended ("scenario `x`: <original message>"). The batch
+/// runners wrap each per-scenario worker body in this: the thread pool
+/// rethrows the first worker exception on the calling thread
+/// (thread_pool.hpp contract), and the context keeps that surfaced error
+/// attributable to its scenario instead of terminating the process
+/// anonymously.
+template <typename Fn>
+void with_error_context(const std::string& context, const Fn& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    throw Error(context + ": " + e.what());
+  }
+}
+
 }  // namespace photherm
 
 /// Precondition check that is always active (not compiled out in release

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <iomanip>
@@ -17,6 +18,13 @@ std::string format_fixed(double value, int decimals) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(decimals) << value;
   return os.str();
+}
+
+std::string format_shortest(double value) {
+  char buf[64];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), value);
+  PH_REQUIRE(r.ec == std::errc(), "cannot format a double");
+  return std::string(buf, r.ptr);
 }
 
 namespace {

@@ -11,6 +11,13 @@ namespace photherm {
 /// printf-style float with fixed decimals, e.g. format_fixed(3.14159, 2) == "3.14".
 std::string format_fixed(double value, int decimals);
 
+/// Shortest decimal spelling that parses back to exactly the same double
+/// (std::to_chars round-trip guarantee): serialize/parse round-trips are
+/// bit-identical while common values stay readable ("0.3", not
+/// "0.29999999999999999"). The scenario files and timeline checkpoints both
+/// rely on this for their exact text round-trips.
+std::string format_shortest(double value);
+
 /// Human-readable SI formatting of a power in watts ("3.6 mW", "25 W").
 std::string format_power(double watts);
 

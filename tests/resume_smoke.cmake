@@ -1,0 +1,39 @@
+# CTest smoke run of the photherm_cli checkpoint/resume path, invoked as
+#   cmake -DPHOTHERM_CLI=... -DGOLDEN=... -DWORK_DIR=... -P resume_smoke.cmake
+# Flow: play the builtin transient suite over the fixed smoke horizon, then
+# replay it pausing every playback after 7 steps into a checkpoint file and
+# resume from that file on a different thread count. The resumed CSV must be
+# BYTE-identical to the uninterrupted one (the checkpoint round-trip stores
+# every double in its shortest exact spelling), and both must match the
+# checked-in golden within the usual cross-platform tolerance.
+
+foreach(var PHOTHERM_CLI GOLDEN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "resume_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_cli)
+  execute_process(COMMAND ${PHOTHERM_CLI} ${ARGN} RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "photherm_cli ${ARGN} failed with exit code ${rv}")
+  endif()
+endfunction()
+
+set(play_args play builtin:transient --dt 0.2 --periods 5)
+run_cli(${play_args} --threads 1 -o ${WORK_DIR}/uninterrupted.csv)
+run_cli(${play_args} --threads 1 --pause-after 7
+        --checkpoint ${WORK_DIR}/checkpoint.txt -o ${WORK_DIR}/paused.csv)
+run_cli(${play_args} --threads 4 --resume ${WORK_DIR}/checkpoint.txt
+        -o ${WORK_DIR}/resumed.csv)
+
+file(READ ${WORK_DIR}/uninterrupted.csv uninterrupted_csv)
+file(READ ${WORK_DIR}/resumed.csv resumed_csv)
+if(NOT uninterrupted_csv STREQUAL resumed_csv)
+  message(FATAL_ERROR "resumed playback is not byte-identical to the "
+                      "uninterrupted run")
+endif()
+
+run_cli(diff ${GOLDEN} ${WORK_DIR}/resumed.csv --tol 1e-4)

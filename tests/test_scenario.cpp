@@ -278,6 +278,33 @@ TEST(ScenarioBatch, SceneKeySeparatesThermalKnobsFromSnrKnobs) {
   EXPECT_NE(core::ThermalAwareDesigner(heater.design).global_scene_key(), key);
 }
 
+TEST(ScenarioBatch, WorkerFailuresSurfaceAsErrorsNamingTheScenario) {
+  // The poisoned design passes validate() — every knob is positive and
+  // finite — but explodes the coarse mesh past its cell budget when the
+  // worker runs the designer. The failure must surface as a catchable
+  // Error naming the scenario on the calling thread, not terminate the
+  // process; both the cached coarse pass and the cold path are covered.
+  auto suite = fast_suite();
+  ScenarioSpec poisoned = fast_scenario("poisoned");
+  poisoned.design.global_cell_xy = 1e-6;
+  poisoned.design.oni_cell_xy = 1e-6;
+  poisoned.design.validate();  // the poison is invisible to validation
+  suite.push_back(std::move(poisoned));
+
+  for (bool share : {true, false}) {
+    BatchOptions options;
+    options.threads = 4;
+    options.share_global_solves = share;
+    try {
+      BatchRunner(options).run(suite);
+      FAIL() << "poisoned scenario must throw (share_global_solves = " << share << ")";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("poisoned"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("cell budget"), std::string::npos) << e.what();
+    }
+  }
+}
+
 TEST(ScenarioBatch, InvalidScenarioNamesTheScenarioInTheError) {
   auto suite = fast_suite();
   suite[1].design.oni_cell_xy = -1.0;

@@ -191,6 +191,43 @@ TEST(Transient, Validation) {
   TransientSolver solver(rig.mesh, rig.bcs, options);
   EXPECT_THROW(solver.set_power_scale(-1.0), Error);
   EXPECT_THROW(solver.advance(0), Error);
+  EXPECT_THROW(solver.set_time_step(0.0), Error);
+  EXPECT_THROW(solver.set_time(-1.0), Error);
+}
+
+TEST(Transient, SetTimeStepMatchesAFreshSolverOnTheNewGrid) {
+  Rig rig = make_rig(0.5);
+  TransientOptions options;
+  options.time_step = 2e-3;
+
+  // Step a while on the fine grid, then grow the step 4x mid-flight.
+  TransientSolver grown(rig.mesh, rig.bcs, options);
+  grown.set_uniform_state(25.0);
+  grown.advance(5);
+  grown.set_time_step(8e-3);
+  EXPECT_EQ(grown.time_step(), 8e-3);
+  EXPECT_EQ(grown.stats().reassemblies, 1u);
+
+  // A solver built directly on the coarse grid and seeded with the same
+  // state must continue bit-identically: the rebuild via add_capacitance
+  // is exactly the construction-time assembly.
+  TransientOptions coarse = options;
+  coarse.time_step = 8e-3;
+  TransientSolver fresh(rig.mesh, rig.bcs, coarse);
+  fresh.set_state(grown.state());
+  fresh.set_time(grown.time());
+  EXPECT_EQ(fresh.stats().reassemblies, 0u);
+
+  for (int step = 0; step < 5; ++step) {
+    const ThermalField& a = grown.step();
+    const ThermalField& b = fresh.step();
+    ASSERT_EQ(a.temperatures(), b.temperatures()) << "step " << step;
+    ASSERT_EQ(grown.time(), fresh.time()) << "step " << step;
+  }
+
+  // Same-valued set_time_step is a no-op, not a rebuild.
+  grown.set_time_step(8e-3);
+  EXPECT_EQ(grown.stats().reassemblies, 1u);
 }
 
 }  // namespace

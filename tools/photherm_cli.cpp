@@ -10,13 +10,19 @@
 ///       bit-identical across thread counts and with the coarse-solve cache
 ///       on or off; cache statistics go to stderr.
 ///   photherm_cli play <suite> [--dt SEC] [--periods N] [--tol DEGC]
-///                     [--until-settle] [--cold-start] [--summary]
-///                     [--threads N] [-o FILE]
+///                     [--until-settle] [--adaptive] [--cold-start]
+///                     [--summary] [--threads N] [-o FILE]
+///                     [--pause-after N --checkpoint FILE] [--resume FILE]
 ///       Transient playback of every scenario's activity schedule (timeline
 ///       engine): emit the time-series CSV (one row per step, probe columns)
 ///       or, with --summary, one settle-report row per scenario. Output is
 ///       bit-identical across thread counts; stepping statistics go to
-///       stderr.
+///       stderr. --adaptive grows the step while the field crawls;
+///       --pause-after/--checkpoint stop every playback after N steps and
+///       write their state to FILE; --resume continues from such a file,
+///       byte-identical to a run that never paused. A warning is printed
+///       when a schedule's quantized duty drifts from its analytic duty by
+///       more than the settle tolerance.
 ///   photherm_cli diff <a.csv> <b.csv> [--tol REL]
 ///       Compare two CSV files cell by cell; numeric cells match within the
 ///       relative tolerance (default 0 = exact), text cells exactly.
@@ -34,6 +40,7 @@
 #include "scenario/batch_runner.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
+#include "timeline/checkpoint.hpp"
 #include "timeline/runner.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -50,7 +57,10 @@ int usage(std::ostream& os, int exit_code) {
         "  run <suite> [--threads N] [--no-cache] [-o FILE]\n"
         "                                           run the batch, emit CSV\n"
         "  play <suite> [--dt SEC] [--periods N] [--tol DEGC] [--until-settle]\n"
-        "               [--cold-start] [--summary] [--threads N] [-o FILE]\n"
+        "               [--adaptive] [--max-period-error REL] [--cold-start]\n"
+        "               [--summary] [--threads N]\n"
+        "               [--pause-after N --checkpoint FILE] [--resume FILE]\n"
+        "               [-o FILE]\n"
         "                                           transient playback, emit\n"
         "                                           time-series CSV\n"
         "  diff <a.csv> <b.csv> [--tol REL]         numeric CSV comparison\n"
@@ -164,6 +174,9 @@ int cmd_play(const std::vector<std::string>& args) {
   bool summary = false;
   bool until_settle = false;
   std::optional<std::size_t> periods;
+  std::size_t pause_after = 0;
+  std::optional<std::string> checkpoint_path;
+  std::optional<std::string> resume_path;
   timeline::PlaybackOptions playback;
 
   const CommonArgs parsed =
@@ -180,15 +193,31 @@ int cmd_play(const std::vector<std::string>& args) {
           playback.settle_tolerance = parse_double(value("--tol"), "--tol");
         } else if (arg == "--until-settle") {
           until_settle = true;
+        } else if (arg == "--adaptive") {
+          playback.adaptive = true;
+        } else if (arg == "--max-period-error") {
+          playback.max_period_error =
+              parse_double(value("--max-period-error"), "--max-period-error");
         } else if (arg == "--cold-start") {
           playback.warm_start = false;
         } else if (arg == "--summary") {
           summary = true;
+        } else if (arg == "--pause-after") {
+          pause_after =
+              static_cast<std::size_t>(parse_uint(value("--pause-after"), "--pause-after"));
+        } else if (arg == "--checkpoint") {
+          checkpoint_path = value("--checkpoint");
+        } else if (arg == "--resume") {
+          resume_path = value("--resume");
         } else {
           return false;
         }
         return true;
       });
+  PH_REQUIRE(pause_after == 0 || checkpoint_path,
+             "--pause-after needs --checkpoint FILE to save the paused state");
+  PH_REQUIRE(!checkpoint_path || pause_after > 0,
+             "--checkpoint needs --pause-after N (when to pause)");
 
   // Fixed-horizon by default (stop_on_settle off, 40 periods) so the CSV
   // shape is schedule-determined — what the golden smoke test pins down.
@@ -203,17 +232,72 @@ int cmd_play(const std::vector<std::string>& args) {
   }
 
   const auto scenarios = resolve_suite(parsed.suite);
+
+  // Quantization sanity: warn when the duty a schedule actually plays on
+  // this grid drifts from the analytic duty by more than the settle
+  // tolerance. The comparison is a dimensionless heuristic — the settled
+  // field shifts by roughly drift x the modulated temperature swing — but
+  // it flags exactly the grids whose playback studies a different duty
+  // than the steady-state pipeline's fold. (Schedules that do not fit the
+  // grid at all fail fast inside the playback, with the scenario named.)
+  for (const auto& s : scenarios) {
+    try {
+      const timeline::PowerTimeline t =
+          timeline::compile_timeline(s.schedule, playback.time_step,
+                                     playback.max_period_error);
+      const double drift = std::abs(t.average_scale() - s.duty_scale());
+      if (drift > playback.settle_tolerance) {
+        std::cerr << "warning: scenario `" << s.name << "`: quantized duty "
+                  << t.average_scale() << " differs from the analytic duty "
+                  << s.duty_scale() << " by " << drift << " (> settle tolerance "
+                  << playback.settle_tolerance << "); shrink --dt to play the "
+                  << "schedule faithfully\n";
+      }
+    } catch (const Error&) {
+      // play will report it with full context
+    }
+  }
+
   timeline::TimelineBatchOptions options;
   options.threads = parsed.threads;
   options.playback = playback;
-  const timeline::TimelineBatchResult result = timeline::TimelineRunner(options).run(scenarios);
+  options.pause_after_steps = pause_after;
+  const timeline::TimelineRunner runner(options);
+  std::vector<timeline::PlaybackCheckpoint> resume_from;
+  if (resume_path) {
+    resume_from = timeline::load_checkpoint_file(*resume_path);
+    if (resume_from.empty()) {
+      // The valid end state of a pause/resume loop: the previous run
+      // finished everything and wrote an empty checkpoint. Play from the
+      // start — determinism makes that the same complete result.
+      std::cerr << *resume_path << " holds no paused playbacks; playing to completion\n";
+    }
+  }
+  const timeline::TimelineBatchResult result =
+      resume_from.empty() ? runner.run(scenarios) : runner.resume(scenarios, resume_from);
+
+  if (checkpoint_path) {
+    // An empty checkpoint file is a valid end state of a pause/resume
+    // loop: every playback finished before the pause fired, the CSV below
+    // is the complete result, and resuming the file reports there is
+    // nothing left to continue.
+    timeline::save_checkpoint_file(*checkpoint_path, result.checkpoints);
+    if (result.checkpoints.empty()) {
+      std::cerr << "all playbacks finished before --pause-after " << pause_after
+                << "; wrote an empty checkpoint to " << *checkpoint_path << "\n";
+    } else {
+      std::cerr << "checkpointed " << result.stats.paused_count << " playbacks to "
+                << *checkpoint_path << "\n";
+    }
+  }
 
   const Table table =
       summary ? timeline::timeline_summary_table(result) : timeline::timeline_table(result);
   write_output(parsed.out_path, table.to_csv());
   std::cerr << "played " << result.stats.scenario_count << " scenarios: "
             << result.stats.total_steps << " steps, " << result.stats.total_cg_iterations
-            << " CG iterations, " << result.stats.settled_count << " settled\n";
+            << " CG iterations, " << result.stats.settled_count << " settled, "
+            << result.stats.periodic_count << " periodic\n";
   return 0;
 }
 
