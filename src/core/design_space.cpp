@@ -37,8 +37,12 @@ std::vector<AvgTemperaturePoint> sweep_vcsel_chip_power(const OnocDesignSpec& ba
           spec.chip_power = chip;
           spec.p_vcsel = vcsel;
           // Representative ONI: reuse the heater-sweep helper's convention
-          // (most central interface) by sweeping a single ratio.
-          const auto point = explore_heater_ratios(spec, {spec.heater_ratio}).front();
+          // (most central interface) by sweeping a single ratio. The solver
+          // override rides along; threads stay at the helper's default (the
+          // inner region runs inline on this worker anyway).
+          SweepOptions inner;
+          inner.solver = sweep.solver;
+          const auto point = explore_heater_ratios(spec, {spec.heater_ratio}, inner).front();
           AvgTemperaturePoint row;
           row.p_chip = chip;
           row.p_vcsel = vcsel;
@@ -72,7 +76,10 @@ std::vector<SnrSweepPoint> sweep_snr(const OnocDesignSpec& base,
           spec.placement = OniPlacementMode::kRing;
           spec.ring_case_id = rc;
           spec.activity = activity;
-          const ThermalAwareDesigner designer(spec);
+          ThermalAwareDesigner designer(spec);
+          if (sweep.solver) {
+            designer.set_steady_options(*sweep.solver);
+          }
           const DesignReport report = designer.run();
           PH_REQUIRE(report.snr.has_value(), "ring run must produce an SNR report");
 

@@ -105,6 +105,9 @@ thermal::TwoLevelOptions ThermalAwareDesigner::two_level_options() const {
   options.local_mesh.default_max_cell_xy = 25e-6;
   options.local_mesh.min_feature_size_xy = 0.0;
   options.window_margin = spec_.window_margin;
+  if (steady_override_) {
+    options.solver = *steady_override_;
+  }
   return options;
 }
 
@@ -172,7 +175,9 @@ std::string ThermalAwareDesigner::make_global_key(const soc::SccSystem& system) 
   // thread count (thread_pool.hpp contract).
   const math::SolverOptions& solver = options.solver.solver;
   os << "solver:" << solver.max_iterations << '|' << static_cast<int>(solver.preconditioner)
-     << '|';
+     << '|' << static_cast<int>(options.solver.operator_kind) << '|'
+     << solver.chebyshev.degree << '|';
+  num(solver.chebyshev.eig_ratio);
   num(solver.rel_tolerance);
   num(solver.convergence_slack);
 
@@ -387,7 +392,10 @@ std::vector<HeaterSweepPoint> explore_heater_ratios(const OnocDesignSpec& base,
         for (std::size_t idx = begin; idx < end; ++idx) {
           OnocDesignSpec spec = base;
           spec.heater_ratio = ratios[idx];
-          const ThermalAwareDesigner designer(spec);
+          ThermalAwareDesigner designer(spec);
+          if (sweep_options.solver) {
+            designer.set_steady_options(*sweep_options.solver);
+          }
           const ThermalReport thermal = designer.evaluate_thermal(representative);
           HeaterSweepPoint point;
           point.heater_ratio = ratios[idx];

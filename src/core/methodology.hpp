@@ -24,6 +24,11 @@ namespace photherm::core {
 struct SweepOptions {
   /// Concurrent scenario solves. 0 = util::concurrency(); 1 = serial.
   std::size_t threads = 0;
+  /// Steady-state solver override applied to every designer the sweep
+  /// builds (operator kind, preconditioner, tolerances). Unset keeps the
+  /// defaults. Enters the global-scene cache key, so sweeps run with
+  /// different solver settings never share cached fields.
+  std::optional<thermal::SteadyStateOptions> solver;
 };
 
 /// Thermal summary of one ONI.
@@ -90,6 +95,14 @@ class ThermalAwareDesigner {
 
   const OnocDesignSpec& spec() const { return spec_; }
 
+  /// Override the steady-state solver options used by every solve this
+  /// designer runs (global pass and local windows). The override enters
+  /// global_scene_key(), so cached coarse solves are never shared across
+  /// different solver settings.
+  void set_steady_options(const thermal::SteadyStateOptions& options) {
+    steady_override_ = options;
+  }
+
   /// Build the 3-D system (scene + ONIs) for the current spec.
   soc::SccSystem build_system() const;
 
@@ -151,6 +164,7 @@ class ThermalAwareDesigner {
                                        const thermal::ThermalField& global_field) const;
 
   OnocDesignSpec spec_;
+  std::optional<thermal::SteadyStateOptions> steady_override_;
 };
 
 /// Explore heater ratios and return (ratio, worst gradient, average) rows —

@@ -1,0 +1,45 @@
+/// \file linear_operator.hpp
+/// \brief Abstract SpMV-shaped operator the Krylov solvers iterate on.
+/// Concrete implementations: CsrMatrix (general sparsity) and
+/// StencilOperator7 (matrix-free 7-point stencil on a structured grid).
+/// Everything a solver or an SpMV-based preconditioner needs is virtual
+/// here; preconditioners that require explicit sparsity (SSOR, ILU(0))
+/// downcast to CsrMatrix and fail with an actionable error otherwise.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "math/vector_ops.hpp"
+
+namespace photherm::math {
+
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+
+  /// y = A * x. Implementations thread chunk-ordered over rows (serial
+  /// below util::kSerialCutoff), so the result is bit-identical at every
+  /// thread count. `threads == 0` means util::concurrency().
+  virtual void apply(const Vector& x, Vector& y, std::size_t threads = 0) const = 0;
+
+  /// Main diagonal (zero where no entry is stored).
+  virtual Vector diagonal() const = 0;
+
+  /// Deep copy. Preconditioners that need the operator beyond their
+  /// constructor (Chebyshev) clone it so they can never dangle into
+  /// storage a caller later rebuilds (the SsorPreconditioner stale-matrix
+  /// hazard, fixed in this layer for good).
+  virtual std::unique_ptr<LinearOperator> clone() const = 0;
+
+  /// max_i scale[i] * sum_j |a_ij|: a Gershgorin-style upper bound on the
+  /// spectral radius of diag(scale) * A. With scale = 1/diag(A) this bounds
+  /// the Jacobi-scaled spectrum, which is how ChebyshevPreconditioner
+  /// obtains its eigenvalue interval without any power iteration.
+  virtual double scaled_row_sum_bound(const Vector& scale) const = 0;
+};
+
+}  // namespace photherm::math

@@ -1,49 +1,87 @@
 #include "math/preconditioner.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "util/error.hpp"
 
 namespace photherm::math {
 
-JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) : inv_diag_(a.diagonal()) {
-  for (double& d : inv_diag_) {
-    PH_REQUIRE(d != 0.0, "Jacobi preconditioner: zero diagonal entry");
-    d = 1.0 / d;
+namespace {
+
+/// Inverted diagonal with the actionable guard the Krylov stack relies on:
+/// a zero diagonal would divide to inf and a negative one silently breaks
+/// the SPD preconditioners, and either surfaces much later as a cryptic CG
+/// non-convergence. Fail at construction, naming the row.
+Vector checked_inverse_diagonal(const LinearOperator& a, const char* who) {
+  Vector inv_diag = a.diagonal();
+  for (std::size_t i = 0; i < inv_diag.size(); ++i) {
+    if (!(inv_diag[i] > 0.0)) {
+      std::ostringstream os;
+      os << who << ": non-positive diagonal entry " << inv_diag[i] << " at row " << i
+         << " (the operator must be SPD; check the assembly feeding this solve)";
+      throw Error(os.str());
+    }
+    inv_diag[i] = 1.0 / inv_diag[i];
   }
+  return inv_diag;
 }
 
-void JacobiPreconditioner::apply(const Vector& r, Vector& z) const {
-  PH_REQUIRE(r.size() == inv_diag_.size(), "Jacobi apply: size mismatch");
+/// Elementwise z[i] = r[i] * d[i], threaded chunk-ordered like the vector
+/// kernels (serial below kSerialCutoff): a serial diagonal scale inside an
+/// otherwise-threaded CG iteration would be the one unthreaded stage.
+void scaled_copy(const Vector& r, const Vector& d, Vector& z, std::size_t threads) {
   z.resize(r.size());
-  for (std::size_t i = 0; i < r.size(); ++i) {
-    z[i] = r[i] * inv_diag_[i];
+  auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      z[i] = r[i] * d[i];
+    }
+  };
+  if (r.size() < util::kSerialCutoff) {
+    body(0, r.size());
+    return;
   }
+  util::parallel_for(r.size(), util::kKernelGrain, body, threads);
+}
+
+}  // namespace
+
+void IdentityPreconditioner::apply(const Vector& r, Vector& z, std::size_t) const { z = r; }
+
+JacobiPreconditioner::JacobiPreconditioner(const LinearOperator& a)
+    : inv_diag_(checked_inverse_diagonal(a, "Jacobi preconditioner")) {}
+
+void JacobiPreconditioner::apply(const Vector& r, Vector& z, std::size_t threads) const {
+  PH_REQUIRE(r.size() == inv_diag_.size(), "Jacobi apply: size mismatch");
+  scaled_copy(r, inv_diag_, z, threads);
 }
 
 SsorPreconditioner::SsorPreconditioner(const CsrMatrix& a, double omega)
-    : a_(&a), omega_(omega), diag_(a.diagonal()) {
+    : row_ptr_(a.row_ptr()), col_idx_(a.col_idx()), values_(a.values()), omega_(omega) {
   PH_REQUIRE(omega > 0.0 && omega < 2.0, "SSOR omega must be in (0, 2)");
-  for (double d : diag_) {
-    PH_REQUIRE(d != 0.0, "SSOR preconditioner: zero diagonal entry");
+  diag_ = a.diagonal();
+  for (std::size_t i = 0; i < diag_.size(); ++i) {
+    if (!(diag_[i] > 0.0)) {
+      std::ostringstream os;
+      os << "SSOR preconditioner: non-positive diagonal entry " << diag_[i] << " at row " << i;
+      throw Error(os.str());
+    }
   }
 }
 
-void SsorPreconditioner::apply(const Vector& r, Vector& z) const {
-  const std::size_t n = a_->rows();
+void SsorPreconditioner::apply(const Vector& r, Vector& z, std::size_t) const {
+  const std::size_t n = diag_.size();
   PH_REQUIRE(r.size() == n, "SSOR apply: size mismatch");
-  const auto& row_ptr = a_->row_ptr();
-  const auto& col_idx = a_->col_idx();
-  const auto& values = a_->values();
 
   // Forward sweep: (D/w + L) y = r
   Vector y(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = r[i];
-    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-      const std::size_t j = col_idx[k];
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
       if (j < i) {
-        acc -= values[k] * y[j];
+        acc -= values_[k] * y[j];
       }
     }
     y[i] = acc * omega_ / diag_[i];
@@ -56,10 +94,10 @@ void SsorPreconditioner::apply(const Vector& r, Vector& z) const {
   z.assign(n, 0.0);
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = y[ii];
-    for (std::size_t k = row_ptr[ii]; k < row_ptr[ii + 1]; ++k) {
-      const std::size_t j = col_idx[k];
+    for (std::size_t k = row_ptr_[ii]; k < row_ptr_[ii + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
       if (j > ii) {
-        acc -= values[k] * z[j];
+        acc -= values_[k] * z[j];
       }
     }
     z[ii] = acc * omega_ / diag_[ii];
@@ -78,6 +116,13 @@ Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a)
     }
     PH_REQUIRE(diag_pos_[i] != static_cast<std::size_t>(-1),
                "ILU(0) requires a stored diagonal in every row");
+    if (!(values_[diag_pos_[i]] > 0.0)) {
+      std::ostringstream os;
+      os << "ILU(0) preconditioner: non-positive diagonal entry " << values_[diag_pos_[i]]
+         << " at row " << i << " (the operator must be SPD; check the assembly feeding "
+         << "this solve)";
+      throw Error(os.str());
+    }
   }
 
   // IKJ-variant ILU(0) factorisation restricted to the pattern of A.
@@ -94,7 +139,6 @@ Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a)
         break;  // columns are sorted; only strictly-lower entries eliminate
       }
       const double pivot = values_[diag_pos_[j]];
-      PH_REQUIRE(std::abs(pivot) > 0.0, "ILU(0) zero pivot");
       const double lij = work_val[j] / pivot;
       work_val[j] = lij;
       for (std::size_t kk = diag_pos_[j] + 1; kk < row_ptr_[j + 1]; ++kk) {
@@ -109,11 +153,15 @@ Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a)
       work_val[col_idx_[k]] = 0.0;
       work_set[col_idx_[k]] = 0;
     }
-    PH_REQUIRE(std::abs(values_[diag_pos_[i]]) > 0.0, "ILU(0) produced a zero pivot");
+    if (!(std::abs(values_[diag_pos_[i]]) > 0.0)) {
+      std::ostringstream os;
+      os << "ILU(0) produced a zero pivot at row " << i;
+      throw Error(os.str());
+    }
   }
 }
 
-void Ilu0Preconditioner::apply(const Vector& r, Vector& z) const {
+void Ilu0Preconditioner::apply(const Vector& r, Vector& z, std::size_t) const {
   PH_REQUIRE(r.size() == n_, "ILU(0) apply: size mismatch");
   // Solve L y = r (unit lower triangular).
   Vector y(n_);
@@ -135,16 +183,133 @@ void Ilu0Preconditioner::apply(const Vector& r, Vector& z) const {
   }
 }
 
-std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind, const CsrMatrix& a) {
+ChebyshevPreconditioner::ChebyshevPreconditioner(const LinearOperator& a,
+                                                 const ChebyshevSettings& settings)
+    : a_(a.clone()),
+      inv_diag_(checked_inverse_diagonal(a, "Chebyshev preconditioner")),
+      degree_(settings.degree) {
+  PH_REQUIRE(settings.degree >= 1, "Chebyshev degree must be at least 1");
+  PH_REQUIRE(settings.eig_ratio > 1.0, "Chebyshev eig_ratio must exceed 1");
+  lambda_max_ = a.scaled_row_sum_bound(inv_diag_);
+  PH_REQUIRE(lambda_max_ > 0.0 && std::isfinite(lambda_max_),
+             "Chebyshev preconditioner: operator has no finite positive spectrum bound");
+  // Jacobi scaling pins every diagonal of D^{-1} A at 1, so the Gershgorin
+  // discs give a lower spectrum bound for free: min_i (1 - sum|offdiag|/d_i)
+  // = 2 - lambda_max. For the bare conduction operator this is ~0 (useless,
+  // fall back to lambda_max / eig_ratio), but for the diagonally shifted
+  // transient stepping operator A + C/dt it is tight — the interval then
+  // hugs the actual spectrum instead of chasing modes that do not exist,
+  // which is what makes the cached preconditioner cheap per warm step.
+  // Keep a sliver of interval so it never collapses (a diagonal operator
+  // has lambda_max == 1 and the two bounds would otherwise meet).
+  lambda_min_ = std::max(lambda_max_ / settings.eig_ratio, 2.0 - lambda_max_);
+  lambda_min_ = std::min(lambda_min_, 0.95 * lambda_max_);
+}
+
+void ChebyshevPreconditioner::apply(const Vector& r, Vector& z, std::size_t threads) const {
+  const std::size_t n = inv_diag_.size();
+  PH_REQUIRE(r.size() == n, "Chebyshev apply: size mismatch");
+
+  // Chebyshev iteration on (D^{-1} A) z = D^{-1} r with zero initial
+  // guess (Saad, Iterative Methods, Alg. 12.1), tracking the unscaled
+  // residual res = r - A z so each step costs exactly one SpMV.
+  const double theta = 0.5 * (lambda_max_ + lambda_min_);
+  const double delta = 0.5 * (lambda_max_ - lambda_min_);
+  const double sigma = theta / delta;
+
+  // First step: z = d = D^{-1} r / theta.
+  Vector d(n);
+  auto first = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      d[i] = inv_diag_[i] * r[i] / theta;
+    }
+  };
+  if (n < util::kSerialCutoff) {
+    first(0, n);
+  } else {
+    util::parallel_for(n, util::kKernelGrain, first, threads);
+  }
+  z = d;
+  if (degree_ == 1) {
+    return;
+  }
+
+  Vector res = r;
+  Vector ad(n);
+  double rho = 1.0 / sigma;
+  for (std::size_t k = 1; k < degree_; ++k) {
+    // res -= A d (z just moved by d).
+    a_->apply(d, ad, threads);
+    axpy(-1.0, ad, res, threads);
+    const double rho_next = 1.0 / (2.0 * sigma - rho);
+    const double c_d = rho_next * rho;
+    const double c_res = 2.0 * rho_next / delta;
+    auto update = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        d[i] = c_d * d[i] + c_res * inv_diag_[i] * res[i];
+        z[i] += d[i];
+      }
+    };
+    if (n < util::kSerialCutoff) {
+      update(0, n);
+    } else {
+      util::parallel_for(n, util::kKernelGrain, update, threads);
+    }
+    rho = rho_next;
+  }
+}
+
+const char* to_string(PreconditionerKind kind) {
+  switch (kind) {
+    case PreconditionerKind::kIdentity:
+      return "identity";
+    case PreconditionerKind::kJacobi:
+      return "jacobi";
+    case PreconditionerKind::kSsor:
+      return "ssor";
+    case PreconditionerKind::kIlu0:
+      return "ilu0";
+    case PreconditionerKind::kChebyshev:
+      return "chebyshev";
+  }
+  return "unknown";
+}
+
+PreconditionerKind preconditioner_kind_from_string(const std::string& name) {
+  for (PreconditionerKind kind :
+       {PreconditionerKind::kIdentity, PreconditionerKind::kJacobi, PreconditionerKind::kSsor,
+        PreconditionerKind::kIlu0, PreconditionerKind::kChebyshev}) {
+    if (name == to_string(kind)) {
+      return kind;
+    }
+  }
+  throw Error("unknown preconditioner `" + name +
+              "` (expected identity, jacobi, ssor, ilu0 or chebyshev)");
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind,
+                                                    const LinearOperator& a,
+                                                    const ChebyshevSettings& chebyshev) {
   switch (kind) {
     case PreconditionerKind::kIdentity:
       return std::make_unique<IdentityPreconditioner>();
     case PreconditionerKind::kJacobi:
       return std::make_unique<JacobiPreconditioner>(a);
+    case PreconditionerKind::kChebyshev:
+      return std::make_unique<ChebyshevPreconditioner>(a, chebyshev);
     case PreconditionerKind::kSsor:
-      return std::make_unique<SsorPreconditioner>(a);
-    case PreconditionerKind::kIlu0:
-      return std::make_unique<Ilu0Preconditioner>(a);
+    case PreconditionerKind::kIlu0: {
+      const auto* csr = dynamic_cast<const CsrMatrix*>(&a);
+      if (csr == nullptr) {
+        throw Error(std::string(to_string(kind)) +
+                    " preconditioning needs explicit CSR sparsity; the matrix-free stencil "
+                    "path supports identity, jacobi and chebyshev");
+      }
+      if (kind == PreconditionerKind::kSsor) {
+        return std::make_unique<SsorPreconditioner>(*csr);
+      }
+      return std::make_unique<Ilu0Preconditioner>(*csr);
+    }
   }
   throw Error("unknown preconditioner kind");
 }

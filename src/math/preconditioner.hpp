@@ -1,12 +1,23 @@
 /// \file preconditioner.hpp
 /// \brief Preconditioners for the Krylov solvers: Jacobi, symmetric
-/// Gauss-Seidel (SSOR with omega=1) and ILU(0). The FVM conduction matrix is
-/// an SPD M-matrix, so ILU(0) exists and is stable without pivoting.
+/// Gauss-Seidel (SSOR with omega=1), ILU(0) and a fixed-degree Chebyshev
+/// polynomial. The FVM conduction matrix is an SPD M-matrix, so ILU(0)
+/// exists and is stable without pivoting.
+///
+/// Every preconditioner owns all the data it applies — none keeps a
+/// pointer into the caller's matrix — so rebuilding or destroying A after
+/// construction can never make apply() read freed or stale storage. A
+/// preconditioner built for one A stays a *valid* (merely outdated)
+/// preconditioner if the caller later changes A; callers that reassemble
+/// (the transient stepping path) rebuild their cached preconditioner
+/// alongside the operator.
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "math/csr_matrix.hpp"
+#include "math/linear_operator.hpp"
 
 namespace photherm::math {
 
@@ -14,20 +25,25 @@ namespace photherm::math {
 class Preconditioner {
  public:
   virtual ~Preconditioner() = default;
-  virtual void apply(const Vector& r, Vector& z) const = 0;
+  /// `threads` as in vector_ops.hpp: 0 = util::concurrency(), 1 = serial;
+  /// results are bit-identical for every value. The elementwise (Jacobi)
+  /// and SpMV-based (Chebyshev) applies thread chunk-ordered; the
+  /// triangular-solve applies (SSOR, ILU(0)) are inherently sequential and
+  /// ignore the parameter.
+  virtual void apply(const Vector& r, Vector& z, std::size_t threads = 0) const = 0;
 };
 
 /// Identity (no preconditioning).
 class IdentityPreconditioner final : public Preconditioner {
  public:
-  void apply(const Vector& r, Vector& z) const override { z = r; }
+  void apply(const Vector& r, Vector& z, std::size_t threads = 0) const override;
 };
 
 /// Diagonal scaling.
 class JacobiPreconditioner final : public Preconditioner {
  public:
-  explicit JacobiPreconditioner(const CsrMatrix& a);
-  void apply(const Vector& r, Vector& z) const override;
+  explicit JacobiPreconditioner(const LinearOperator& a);
+  void apply(const Vector& r, Vector& z, std::size_t threads = 0) const override;
 
  private:
   Vector inv_diag_;
@@ -35,13 +51,18 @@ class JacobiPreconditioner final : public Preconditioner {
 
 /// Symmetric successive over-relaxation used as a preconditioner:
 /// M = (D/w + L) (D/w)^{-1} (D/w + U) * w/(2-w). Keeps symmetry for CG.
+/// Owns a copy of the matrix arrays: a caller that rebuilds A between
+/// applies (e.g. TransientSolver::set_time_step) gets the M it constructed,
+/// never a read of freed storage.
 class SsorPreconditioner final : public Preconditioner {
  public:
   explicit SsorPreconditioner(const CsrMatrix& a, double omega = 1.0);
-  void apply(const Vector& r, Vector& z) const override;
+  void apply(const Vector& r, Vector& z, std::size_t threads = 0) const override;
 
  private:
-  const CsrMatrix* a_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
   double omega_;
   Vector diag_;
 };
@@ -50,7 +71,7 @@ class SsorPreconditioner final : public Preconditioner {
 class Ilu0Preconditioner final : public Preconditioner {
  public:
   explicit Ilu0Preconditioner(const CsrMatrix& a);
-  void apply(const Vector& r, Vector& z) const override;
+  void apply(const Vector& r, Vector& z, std::size_t threads = 0) const override;
 
  private:
   // Factor stored on A's pattern: strictly-lower entries hold L (unit
@@ -62,8 +83,61 @@ class Ilu0Preconditioner final : public Preconditioner {
   std::size_t n_ = 0;
 };
 
-enum class PreconditionerKind { kIdentity, kJacobi, kSsor, kIlu0 };
+struct ChebyshevSettings {
+  /// Chebyshev steps per apply; an apply costs `degree - 1` operator
+  /// applications (plus elementwise work), so the polynomial in A has
+  /// degree `degree - 1`. Must be >= 1 (1 degenerates to scaled Jacobi).
+  /// The default is the wall-time sweet spot on the fine FVM meshes
+  /// (bench_solver_perf BM_CgChebyshevDegree): going from 4 to 8 halves
+  /// the CG iteration count for the same wall time, past ~12 the extra
+  /// SpMVs per apply cost more than the iterations they save.
+  std::size_t degree = 8;
+  /// Fallback width of the target interval
+  /// [lambda_max / eig_ratio, lambda_max]: modes below the lower bound are
+  /// left to CG itself, exactly like a multigrid smoother's split. When the
+  /// Gershgorin lower bound (2 - lambda_max in the Jacobi-scaled operator)
+  /// is tighter — true for diagonally shifted stepping operators A + C/dt —
+  /// that bound wins and eig_ratio is ignored. Must be > 1.
+  double eig_ratio = 30.0;
+};
 
-std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind, const CsrMatrix& a);
+/// Fixed-degree Chebyshev polynomial in the Jacobi-scaled operator
+/// D^{-1} A: z = p(D^{-1} A) D^{-1} r, with p chosen to approximate the
+/// inverse on [lambda_max / eig_ratio, lambda_max] and lambda_max bounded
+/// by the (deterministic, iteration-free) Gershgorin row sums. The apply
+/// needs nothing but SpMV + elementwise kernels, so unlike the triangular
+/// solves of SSOR/ILU(0) it threads chunk-ordered end to end, and its
+/// setup cost is one diagonal pass — exactly what the adaptive-dt
+/// reassembly path wants. Symmetric by construction
+/// (p(D^{-1}A) D^{-1} = D^{-1/2} p(D^{-1/2} A D^{-1/2}) D^{-1/2}), so CG
+/// applies. Owns a clone of the operator: no stale-matrix hazard.
+class ChebyshevPreconditioner final : public Preconditioner {
+ public:
+  explicit ChebyshevPreconditioner(const LinearOperator& a,
+                                   const ChebyshevSettings& settings = {});
+  void apply(const Vector& r, Vector& z, std::size_t threads = 0) const override;
+
+  double lambda_max() const { return lambda_max_; }
+  double lambda_min() const { return lambda_min_; }
+
+ private:
+  std::unique_ptr<const LinearOperator> a_;
+  Vector inv_diag_;
+  std::size_t degree_;
+  double lambda_max_ = 0.0;  ///< of D^{-1} A (Gershgorin bound)
+  double lambda_min_ = 0.0;
+};
+
+enum class PreconditionerKind { kIdentity, kJacobi, kSsor, kIlu0, kChebyshev };
+
+const char* to_string(PreconditionerKind kind);
+PreconditionerKind preconditioner_kind_from_string(const std::string& name);
+
+/// Build a preconditioner of `kind` for `a`. SSOR and ILU(0) need explicit
+/// CSR sparsity; asking for them on a matrix-free operator (the stencil
+/// path) throws an Error naming the kinds that do work there.
+std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind,
+                                                    const LinearOperator& a,
+                                                    const ChebyshevSettings& chebyshev = {});
 
 }  // namespace photherm::math

@@ -12,10 +12,12 @@ namespace photherm::math {
 
 namespace {
 
-SolverResult finalize(const CsrMatrix& a, const Vector& b, const Vector& x, std::size_t iters,
-                      double norm_b, const SolverOptions& options, const char* name) {
+SolverResult finalize(const LinearOperator& a, const Vector& b, const Vector& x,
+                      std::size_t iters, double norm_b, const SolverOptions& options,
+                      const char* name) {
   PH_REQUIRE(options.convergence_slack >= 1.0, "convergence_slack must be >= 1");
-  Vector r = a.multiply(x, options.threads);
+  Vector r;
+  a.apply(x, r, options.threads);
   for (std::size_t i = 0; i < r.size(); ++i) {
     r[i] = b[i] - r[i];
   }
@@ -54,27 +56,27 @@ void prepare_initial_guess(Vector& x, std::size_t n) {
 
 }  // namespace
 
-SolverResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
-                                const SolverOptions& options) {
+SolverResult conjugate_gradient(const LinearOperator& a, const Vector& b, Vector& x,
+                                const Preconditioner& precond, const SolverOptions& options) {
   PH_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix");
   PH_REQUIRE(b.size() == a.rows(), "CG: rhs size mismatch");
   const std::size_t n = a.rows();
   prepare_initial_guess(x, n);
   const std::size_t threads = resolve_threads(options);
 
-  const auto precond = make_preconditioner(options.preconditioner, a);
   const double norm_b = norm2(b, threads);
   if (norm_b == 0.0) {
     x.assign(n, 0.0);
     return {true, 0, 0.0, 0.0};
   }
 
-  Vector r = a.multiply(x, threads);
+  Vector r;
+  a.apply(x, r, threads);
   for (std::size_t i = 0; i < n; ++i) {
     r[i] = b[i] - r[i];
   }
   Vector z(n);
-  precond->apply(r, z);
+  precond.apply(r, z, threads);
   Vector p = z;
   Vector ap(n);
   double rz = dot(r, z, threads);
@@ -84,13 +86,13 @@ SolverResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
     if (norm2(r, threads) / norm_b <= options.rel_tolerance) {
       break;
     }
-    a.multiply(p, ap, threads);
+    a.apply(p, ap, threads);
     const double p_ap = dot(p, ap, threads);
     PH_REQUIRE(p_ap > 0.0, "CG breakdown: matrix is not positive definite");
     const double alpha = rz / p_ap;
     axpy(alpha, p, x, threads);
     axpy(-alpha, ap, r, threads);
-    precond->apply(r, z);
+    precond.apply(r, z, threads);
     const double rz_next = dot(r, z, threads);
     const double beta = rz_next / rz;
     rz = rz_next;
@@ -99,22 +101,28 @@ SolverResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
   return finalize(a, b, x, it, norm_b, options, "conjugate_gradient");
 }
 
-SolverResult bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
-                      const SolverOptions& options) {
+SolverResult conjugate_gradient(const LinearOperator& a, const Vector& b, Vector& x,
+                                const SolverOptions& options) {
+  const auto precond = make_preconditioner(options.preconditioner, a, options.chebyshev);
+  return conjugate_gradient(a, b, x, *precond, options);
+}
+
+SolverResult bicgstab(const LinearOperator& a, const Vector& b, Vector& x,
+                      const Preconditioner& precond, const SolverOptions& options) {
   PH_REQUIRE(a.rows() == a.cols(), "BiCGSTAB requires a square matrix");
   PH_REQUIRE(b.size() == a.rows(), "BiCGSTAB: rhs size mismatch");
   const std::size_t n = a.rows();
   prepare_initial_guess(x, n);
   const std::size_t threads = resolve_threads(options);
 
-  const auto precond = make_preconditioner(options.preconditioner, a);
   const double norm_b = norm2(b, threads);
   if (norm_b == 0.0) {
     x.assign(n, 0.0);
     return {true, 0, 0.0, 0.0};
   }
 
-  Vector r = a.multiply(x, threads);
+  Vector r;
+  a.apply(x, r, threads);
   for (std::size_t i = 0; i < n; ++i) {
     r[i] = b[i] - r[i];
   }
@@ -136,8 +144,8 @@ SolverResult bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
     for (std::size_t i = 0; i < n; ++i) {
       p[i] = r[i] + beta * (p[i] - omega * v[i]);
     }
-    precond->apply(p, y);
-    a.multiply(y, v, threads);
+    precond.apply(p, y, threads);
+    a.apply(y, v, threads);
     alpha = rho / dot(r0, v, threads);
     for (std::size_t i = 0; i < n; ++i) {
       s[i] = r[i] - alpha * v[i];
@@ -147,8 +155,8 @@ SolverResult bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
       ++it;
       break;
     }
-    precond->apply(s, z);
-    a.multiply(z, t, threads);
+    precond.apply(s, z, threads);
+    a.apply(z, t, threads);
     const double tt = dot(t, t, threads);
     if (tt == 0.0) {
       axpy(alpha, y, x, threads);
@@ -165,6 +173,12 @@ SolverResult bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
     }
   }
   return finalize(a, b, x, it, norm_b, options, "bicgstab");
+}
+
+SolverResult bicgstab(const LinearOperator& a, const Vector& b, Vector& x,
+                      const SolverOptions& options) {
+  const auto precond = make_preconditioner(options.preconditioner, a, options.chebyshev);
+  return bicgstab(a, b, x, *precond, options);
 }
 
 SolverResult gauss_seidel(const CsrMatrix& a, const Vector& b, Vector& x,

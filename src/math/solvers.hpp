@@ -15,6 +15,8 @@ struct SolverOptions {
   double rel_tolerance = 1e-9;   ///< on ||r|| / ||b||
   std::size_t max_iterations = 20000;
   PreconditionerKind preconditioner = PreconditionerKind::kIlu0;
+  /// Used only when `preconditioner == kChebyshev`.
+  ChebyshevSettings chebyshev;
   bool throw_on_failure = true;  ///< if false, return best-effort result
   /// Multiplier (>= 1) on `rel_tolerance` when the final true residual is
   /// judged for `SolverResult::converged`. The default of 1 reports against
@@ -43,13 +45,26 @@ struct SolverResult {
 /// correctly sized vector is therefore never silently truncated or padded
 /// with stale entries. `x` receives the solution.
 
-/// Preconditioned conjugate gradient.
-SolverResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
+/// Preconditioned conjugate gradient. Builds the preconditioner named by
+/// `options.preconditioner` for this solve.
+SolverResult conjugate_gradient(const LinearOperator& a, const Vector& b, Vector& x,
                                 const SolverOptions& options = {});
 
+/// CG with a caller-owned preconditioner: `options.preconditioner` is
+/// ignored and `precond` is applied as-is. This is the hot-path overload —
+/// a transient stepper that solves the same operator every step builds M
+/// once and amortises the setup (ILU(0) factorisation, Chebyshev bounds)
+/// across the whole run instead of paying it per solve.
+SolverResult conjugate_gradient(const LinearOperator& a, const Vector& b, Vector& x,
+                                const Preconditioner& precond, const SolverOptions& options = {});
+
 /// Preconditioned BiCGSTAB for general (possibly non-symmetric) systems.
-SolverResult bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
+SolverResult bicgstab(const LinearOperator& a, const Vector& b, Vector& x,
                       const SolverOptions& options = {});
+
+/// BiCGSTAB with a caller-owned preconditioner (see the CG overload).
+SolverResult bicgstab(const LinearOperator& a, const Vector& b, Vector& x,
+                      const Preconditioner& precond, const SolverOptions& options = {});
 
 /// Plain Gauss-Seidel iteration (used as a smoother and in tests as an
 /// independent cross-check of CG results). The true residual is checked

@@ -1,0 +1,168 @@
+#include "math/stencil_operator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace photherm::math {
+
+StencilOperator7::StencilOperator7(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz), n_(nx * ny * nz) {
+  PH_REQUIRE(nx > 0 && ny > 0 && nz > 0, "stencil grid dimensions must be positive");
+  diag_.assign(n_, 0.0);
+  west_.assign(n_, 0.0);
+  east_.assign(n_, 0.0);
+  south_.assign(n_, 0.0);
+  north_.assign(n_, 0.0);
+  down_.assign(n_, 0.0);
+  up_.assign(n_, 0.0);
+}
+
+void StencilOperator7::apply(const Vector& x, Vector& y, std::size_t threads) const {
+  PH_REQUIRE(x.size() == n_, "stencil apply: x size mismatch");
+  y.resize(n_);
+  const std::size_t sy = nx_;
+  const std::size_t sz = nx_ * ny_;
+
+  // Guarded row: substitutes 0.0 for out-of-range neighbours. A boundary
+  // cell's coefficient toward a missing neighbour is zero, so for rows
+  // whose neighbour index merely wraps (e.g. west at ix == 0 reading the
+  // previous y-row) the unguarded product is coefficient * finite = +-0.0
+  // and the sum is bit-identical to the guarded one; the guards only exist
+  // to keep the first/last sz rows from indexing outside x.
+  auto guarded_row = [&](std::size_t i) {
+    double acc = down_[i] * (i >= sz ? x[i - sz] : 0.0);
+    acc += south_[i] * (i >= sy ? x[i - sy] : 0.0);
+    acc += west_[i] * (i >= 1 ? x[i - 1] : 0.0);
+    acc += diag_[i] * x[i];
+    acc += east_[i] * (i + 1 < n_ ? x[i + 1] : 0.0);
+    acc += north_[i] * (i + sy < n_ ? x[i + sy] : 0.0);
+    acc += up_[i] * (i + sz < n_ ? x[i + sz] : 0.0);
+    return acc;
+  };
+  const std::size_t interior_end = n_ > sz ? n_ - sz : 0;
+  auto rows_kernel = [&](std::size_t begin, std::size_t end) {
+    std::size_t i = begin;
+    for (; i < end && i < sz; ++i) {
+      y[i] = guarded_row(i);
+    }
+    // Branch-free interior: every neighbour index is in bounds, and the
+    // accumulation order matches guarded_row exactly.
+    for (; i < end && i < interior_end; ++i) {
+      double acc = down_[i] * x[i - sz];
+      acc += south_[i] * x[i - sy];
+      acc += west_[i] * x[i - 1];
+      acc += diag_[i] * x[i];
+      acc += east_[i] * x[i + 1];
+      acc += north_[i] * x[i + sy];
+      acc += up_[i] * x[i + sz];
+      y[i] = acc;
+    }
+    for (; i < end; ++i) {
+      y[i] = guarded_row(i);
+    }
+  };
+  if (n_ < util::kSerialCutoff) {
+    rows_kernel(0, n_);
+    return;
+  }
+  util::parallel_for(n_, util::kKernelGrain, rows_kernel, threads);
+}
+
+std::unique_ptr<LinearOperator> StencilOperator7::clone() const {
+  return std::make_unique<StencilOperator7>(*this);
+}
+
+double StencilOperator7::scaled_row_sum_bound(const Vector& scale) const {
+  PH_REQUIRE(scale.size() == n_, "scaled_row_sum_bound: scale size mismatch");
+  double bound = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double sum = std::abs(down_[i]) + std::abs(south_[i]) + std::abs(west_[i]) +
+                       std::abs(diag_[i]) + std::abs(east_[i]) + std::abs(north_[i]) +
+                       std::abs(up_[i]);
+    bound = std::max(bound, scale[i] * sum);
+  }
+  return bound;
+}
+
+void StencilOperator7::add_to_diagonal(const Vector& delta) {
+  PH_REQUIRE(delta.size() == n_, "add_to_diagonal: size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    diag_[i] += delta[i];
+  }
+}
+
+CsrMatrix StencilOperator7::to_csr() const {
+  const std::size_t sy = nx_;
+  const std::size_t sz = nx_ * ny_;
+  CsrBuilder builder(n_, n_);
+  builder.reserve(7 * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (down_[i] != 0.0) {
+      builder.add(i, i - sz, down_[i]);
+    }
+    if (south_[i] != 0.0) {
+      builder.add(i, i - sy, south_[i]);
+    }
+    if (west_[i] != 0.0) {
+      builder.add(i, i - 1, west_[i]);
+    }
+    builder.add(i, i, diag_[i]);
+    if (east_[i] != 0.0) {
+      builder.add(i, i + 1, east_[i]);
+    }
+    if (north_[i] != 0.0) {
+      builder.add(i, i + sy, north_[i]);
+    }
+    if (up_[i] != 0.0) {
+      builder.add(i, i + sz, up_[i]);
+    }
+  }
+  return builder.build();
+}
+
+StencilOperator7 StencilOperator7::from_csr(const CsrMatrix& a, std::size_t nx, std::size_t ny,
+                                            std::size_t nz) {
+  StencilOperator7 op(nx, ny, nz);
+  PH_REQUIRE(a.rows() == op.rows() && a.cols() == op.cols(),
+             "from_csr: matrix does not match the nx*ny*nz grid");
+  const std::size_t sy = nx;
+  const std::size_t sz = nx * ny;
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (std::size_t i = 0; i < op.n_; ++i) {
+    const std::size_t ix = i % nx;
+    const std::size_t iy = (i / nx) % ny;
+    const std::size_t iz = i / sz;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const std::size_t j = col_idx[k];
+      const double v = values[k];
+      if (j == i) {
+        op.diag_[i] = v;
+      } else if (j + 1 == i && ix > 0) {
+        op.west_[i] = v;
+      } else if (j == i + 1 && ix + 1 < nx) {
+        op.east_[i] = v;
+      } else if (j + sy == i && iy > 0) {
+        op.south_[i] = v;
+      } else if (j == i + sy && iy + 1 < ny) {
+        op.north_[i] = v;
+      } else if (j + sz == i && iz > 0) {
+        op.down_[i] = v;
+      } else if (j == i + sz && iz + 1 < nz) {
+        op.up_[i] = v;
+      } else {
+        std::ostringstream os;
+        os << "from_csr: entry (" << i << ", " << j
+           << ") falls outside the 7-point stencil pattern";
+        throw Error(os.str());
+      }
+    }
+  }
+  return op;
+}
+
+}  // namespace photherm::math

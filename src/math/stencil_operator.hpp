@@ -1,0 +1,80 @@
+/// \file stencil_operator.hpp
+/// \brief Matrix-free 7-point stencil operator on a structured nx*ny*nz
+/// grid (cell (ix, iy, iz) linearised as ((iz * ny) + iy) * nx + ix, the
+/// RectilinearMesh convention). The FVM conduction operator has exactly
+/// this shape, so storing one coefficient per face direction removes the
+/// CSR column indirection entirely: an SpMV reads seven contiguous
+/// coefficient streams plus x at fixed strides — SIMD-friendly and roughly
+/// half the memory traffic of the CSR kernel (no col_idx, no row_ptr).
+///
+/// Boundary cells simply carry zero coefficients toward the missing
+/// neighbours, so the interior kernel is branch-free. The per-row
+/// accumulation order is fixed (down, south, west, diag, east, north, up —
+/// ascending column index, matching the CSR kernel's sorted-column order),
+/// and rows are chunk-ordered over the shared pool, so results are
+/// bit-identical at 1, 2 or N threads, exactly like CsrMatrix::multiply.
+#pragma once
+
+#include "math/csr_matrix.hpp"
+#include "math/linear_operator.hpp"
+
+namespace photherm::math {
+
+class StencilOperator7 final : public LinearOperator {
+ public:
+  /// Zero operator on an nx*ny*nz grid; assembly writes the coefficients.
+  StencilOperator7(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t rows() const override { return n_; }
+  std::size_t cols() const override { return n_; }
+
+  /// Coefficient streams by neighbour offset: west/east = -/+1 on x,
+  /// south/north = -/+nx on y, down/up = -/+(nx*ny) on z. A boundary cell's
+  /// coefficient toward a missing neighbour must stay zero.
+  Vector& diag() { return diag_; }
+  Vector& west() { return west_; }
+  Vector& east() { return east_; }
+  Vector& south() { return south_; }
+  Vector& north() { return north_; }
+  Vector& up() { return up_; }
+  Vector& down() { return down_; }
+  const Vector& diag() const { return diag_; }
+  const Vector& west() const { return west_; }
+  const Vector& east() const { return east_; }
+  const Vector& south() const { return south_; }
+  const Vector& north() const { return north_; }
+  const Vector& up() const { return up_; }
+  const Vector& down() const { return down_; }
+
+  void apply(const Vector& x, Vector& y, std::size_t threads = 0) const override;
+  Vector diagonal() const override { return diag_; }
+  std::unique_ptr<LinearOperator> clone() const override;
+  double scaled_row_sum_bound(const Vector& scale) const override;
+
+  /// diag += delta (size must match). The transient stepping operator
+  /// C/dt + A differs from A only on the diagonal, so an adaptive-dt
+  /// rebuild on the stencil path is one vector add instead of a full CSR
+  /// triplet sort.
+  void add_to_diagonal(const Vector& delta);
+
+  /// Explicit CSR form (tests; CSR-only preconditioners).
+  CsrMatrix to_csr() const;
+
+  /// Extract the stencil from a CSR matrix that has pure 7-point structure
+  /// on the given grid; throws Error naming the offending row if any entry
+  /// falls outside the stencil pattern.
+  static StencilOperator7 from_csr(const CsrMatrix& a, std::size_t nx, std::size_t ny,
+                                   std::size_t nz);
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::size_t nz_ = 0;
+  std::size_t n_ = 0;
+  Vector diag_, west_, east_, south_, north_, down_, up_;
+};
+
+}  // namespace photherm::math

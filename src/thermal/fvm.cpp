@@ -115,10 +115,15 @@ bool has_fixing_bc(const BoundarySet& bcs) {
   return false;
 }
 
-}  // namespace
-
-DiscreteSystem assemble(const RectilinearMesh& m, const BoundarySet& bcs,
-                        const math::Vector* cell_conductivity) {
+/// One implementation of the FVM face loop, shared by the CSR and stencil
+/// assemblies so the two operators can never drift apart. The emitter
+/// receives every internal face once (`pair(cell, nb, axis, g)` with the
+/// neighbour toward +axis) and every non-adiabatic boundary face
+/// (`boundary(cell, g)`); rhs and capacitance are filled here.
+template <typename Emitter>
+void assemble_core(const RectilinearMesh& m, const BoundarySet& bcs,
+                   const math::Vector* cell_conductivity, math::Vector& rhs,
+                   math::Vector& capacitance, Emitter&& emit) {
   PH_REQUIRE(has_fixing_bc(bcs),
              "all-adiabatic boundary set: the steady-state problem is singular");
   PH_REQUIRE(cell_conductivity == nullptr || cell_conductivity->size() == m.cell_count(),
@@ -130,10 +135,8 @@ DiscreteSystem assemble(const RectilinearMesh& m, const BoundarySet& bcs,
   const std::size_t nz = m.nz();
   const auto& lib = m.materials_library();
 
-  math::CsrBuilder builder(n, n);
-  builder.reserve(7 * n);
-  math::Vector rhs(n, 0.0);
-  math::Vector capacitance(n, 0.0);
+  rhs.assign(n, 0.0);
+  capacitance.assign(n, 0.0);
 
   auto conductivity = [&](std::size_t cell) {
     return cell_conductivity != nullptr ? (*cell_conductivity)[cell]
@@ -167,16 +170,14 @@ DiscreteSystem assemble(const RectilinearMesh& m, const BoundarySet& bcs,
             {iz + 1 < nz, iz + 1 < nz ? m.index(ix, iy, iz + 1) : 0, dz,
              iz + 1 < nz ? m.z().cell_width(iz + 1) : 0.0, dx * dy},
         };
-        for (const Neighbour& nb : neighbours) {
+        for (int axis = 0; axis < 3; ++axis) {
+          const Neighbour& nb = neighbours[axis];
           if (!nb.valid) {
             continue;
           }
           const double k2 = conductivity(nb.cell);
           const double g = nb.area / (nb.d1 / (2.0 * k1) + nb.d2 / (2.0 * k2));
-          builder.add(cell, cell, g);
-          builder.add(nb.cell, nb.cell, g);
-          builder.add(cell, nb.cell, -g);
-          builder.add(nb.cell, cell, -g);
+          emit.pair(cell, nb.cell, axis, g);
         }
       }
     }
@@ -192,20 +193,91 @@ DiscreteSystem assemble(const RectilinearMesh& m, const BoundarySet& bcs,
                            [&](std::size_t cell, double area, double width, const Vec3& center) {
                              const double k = conductivity(cell);
                              const double g = boundary_conductance(bc, area, width, k);
-                             builder.add(cell, cell, g);
+                             emit.boundary(cell, g);
                              rhs[cell] += g * boundary_wall_temperature(bc, center);
                            });
   }
-
-  return DiscreteSystem{builder.build(), std::move(rhs), std::move(capacitance)};
 }
+
+}  // namespace
+
+DiscreteSystem assemble(const RectilinearMesh& m, const BoundarySet& bcs,
+                        const math::Vector* cell_conductivity) {
+  const std::size_t n = m.cell_count();
+  struct CsrEmitter {
+    math::CsrBuilder builder;
+    void pair(std::size_t cell, std::size_t nb, int /*axis*/, double g) {
+      builder.add(cell, cell, g);
+      builder.add(nb, nb, g);
+      builder.add(cell, nb, -g);
+      builder.add(nb, cell, -g);
+    }
+    void boundary(std::size_t cell, double g) { builder.add(cell, cell, g); }
+  } emit{math::CsrBuilder(n, n)};
+  emit.builder.reserve(7 * n);
+  math::Vector rhs;
+  math::Vector capacitance;
+  assemble_core(m, bcs, cell_conductivity, rhs, capacitance, emit);
+  return DiscreteSystem{emit.builder.build(), std::move(rhs), std::move(capacitance)};
+}
+
+StencilSystem assemble_stencil(const RectilinearMesh& m, const BoundarySet& bcs,
+                               const math::Vector* cell_conductivity) {
+  struct StencilEmitter {
+    math::StencilOperator7 op;
+    void pair(std::size_t cell, std::size_t nb, int axis, double g) {
+      op.diag()[cell] += g;
+      op.diag()[nb] += g;
+      // `nb` is the +axis neighbour of `cell`.
+      switch (axis) {
+        case 0:
+          op.east()[cell] = -g;
+          op.west()[nb] = -g;
+          break;
+        case 1:
+          op.north()[cell] = -g;
+          op.south()[nb] = -g;
+          break;
+        default:
+          op.up()[cell] = -g;
+          op.down()[nb] = -g;
+          break;
+      }
+    }
+    void boundary(std::size_t cell, double g) { op.diag()[cell] += g; }
+  } emit{math::StencilOperator7(m.nx(), m.ny(), m.nz())};
+  math::Vector rhs;
+  math::Vector capacitance;
+  assemble_core(m, bcs, cell_conductivity, rhs, capacitance, emit);
+  return StencilSystem{std::move(emit.op), std::move(rhs), std::move(capacitance)};
+}
+
+const char* to_string(OperatorKind kind) {
+  return kind == OperatorKind::kStencil ? "stencil" : "csr";
+}
+
+namespace {
+
+/// Steady solve on whichever operator representation the options ask for.
+/// The warm-start contract of conjugate_gradient applies to `t` unchanged.
+math::SolverResult steady_solve(const RectilinearMesh& m, const BoundarySet& bcs,
+                                const math::Vector* cell_conductivity,
+                                const SteadyStateOptions& options, math::Vector& t) {
+  if (options.operator_kind == OperatorKind::kStencil) {
+    StencilSystem system = assemble_stencil(m, bcs, cell_conductivity);
+    return math::conjugate_gradient(system.op, system.rhs, t, options.solver);
+  }
+  DiscreteSystem system = assemble(m, bcs, cell_conductivity);
+  return math::conjugate_gradient(system.matrix, system.rhs, t, options.solver);
+}
+
+}  // namespace
 
 ThermalField solve_steady_state(std::shared_ptr<const RectilinearMesh> mesh,
                                 const BoundarySet& bcs, const SteadyStateOptions& options) {
   PH_REQUIRE(mesh != nullptr, "solve_steady_state: null mesh");
-  DiscreteSystem system = assemble(*mesh, bcs);
   math::Vector t(mesh->cell_count(), 0.0);
-  const auto result = math::conjugate_gradient(system.matrix, system.rhs, t, options.solver);
+  const auto result = steady_solve(*mesh, bcs, nullptr, options, t);
   PH_LOG_DEBUG << "steady-state solve: " << math::to_string(result);
   return ThermalField(std::move(mesh), std::move(t));
 }
@@ -242,9 +314,8 @@ ThermalField solve_steady_state_nonlinear(std::shared_ptr<const RectilinearMesh>
     for (std::size_t cell = 0; cell < m.cell_count(); ++cell) {
       k[cell] = lib.get(m.material(cell)).conductivity_at(t[cell]);
     }
-    DiscreteSystem system = assemble(m, bcs, &k);
     math::Vector next = t;  // warm start
-    math::conjugate_gradient(system.matrix, system.rhs, next, options.linear.solver);
+    steady_solve(m, bcs, &k, options.linear, next);
     double max_change = 0.0;
     for (std::size_t cell = 0; cell < m.cell_count(); ++cell) {
       max_change = std::max(max_change, std::abs(next[cell] - t[cell]));

@@ -13,6 +13,7 @@ TransientStats operator+(const TransientStats& a, const TransientStats& b) {
   sum.total_cg_iterations = a.total_cg_iterations + b.total_cg_iterations;
   sum.max_cg_iterations = std::max(a.max_cg_iterations, b.max_cg_iterations);
   sum.reassemblies = a.reassemblies + b.reassemblies;
+  sum.preconditioner_builds = a.preconditioner_builds + b.preconditioner_builds;
   return sum;
 }
 
@@ -39,8 +40,13 @@ TransientSolver::TransientSolver(std::shared_ptr<const mesh::RectilinearMesh> me
     : mesh_(std::move(mesh)), options_(options) {
   PH_REQUIRE(mesh_ != nullptr, "TransientSolver: null mesh");
   PH_REQUIRE(options_.time_step > 0.0, "time step must be positive");
+  // The CSR system is assembled on both paths: system() is the public
+  // steady-reference API and its rhs/capacitance drive the stepping maths.
   system_ = assemble(*mesh_, bcs);
-  stepping_matrix_ = add_capacitance(system_.matrix, system_.capacitance, options_.time_step);
+  if (options_.operator_kind == OperatorKind::kStencil) {
+    stencil_a_.emplace(assemble_stencil(*mesh_, bcs).op);
+  }
+  rebuild_stepping();
   state_.assign(mesh_->cell_count(), 0.0);
   // Separate injected power from boundary wall terms so set_power_scale /
   // set_power throttle only the heat sources, not the ambient coupling.
@@ -75,10 +81,12 @@ const ThermalField& TransientSolver::step() {
   if (options_.warm_start) {
     // state_ already has the system size, so CG keeps it as the initial
     // guess (solvers.hpp warm-start contract) — the previous step's field.
-    last_solve_ = math::conjugate_gradient(stepping_matrix_, rhs, state_, options_.solver);
+    last_solve_ =
+        math::conjugate_gradient(stepping_operator(), rhs, state_, *precond_, options_.solver);
   } else {
     math::Vector x;  // empty -> CG starts from the zero vector
-    last_solve_ = math::conjugate_gradient(stepping_matrix_, rhs, x, options_.solver);
+    last_solve_ =
+        math::conjugate_gradient(stepping_operator(), rhs, x, *precond_, options_.solver);
     state_ = std::move(x);
   }
   stats_.steps += 1;
@@ -103,8 +111,33 @@ void TransientSolver::set_time_step(double dt) {
     return;
   }
   options_.time_step = dt;
-  stepping_matrix_ = add_capacitance(system_.matrix, system_.capacitance, dt);
+  rebuild_stepping();
   stats_.reassemblies += 1;
+  stats_.preconditioner_builds += 1;
+}
+
+void TransientSolver::rebuild_stepping() {
+  if (options_.operator_kind == OperatorKind::kStencil) {
+    // Diagonal-only shift: copy A's coefficient streams and add C/dt — no
+    // triplet sort, which is what makes adaptive-dt rebuilds cheap here.
+    math::Vector shift = system_.capacitance;
+    for (std::size_t i = 0; i < shift.size(); ++i) {
+      shift[i] /= options_.time_step;
+    }
+    stepping_stencil_.emplace(*stencil_a_);
+    stepping_stencil_->add_to_diagonal(shift);
+  } else {
+    stepping_matrix_ = add_capacitance(system_.matrix, system_.capacitance, options_.time_step);
+  }
+  precond_ = math::make_preconditioner(options_.solver.preconditioner, stepping_operator(),
+                                       options_.solver.chebyshev);
+}
+
+const math::LinearOperator& TransientSolver::stepping_operator() const {
+  if (stepping_stencil_.has_value()) {
+    return *stepping_stencil_;
+  }
+  return stepping_matrix_;
 }
 
 void TransientSolver::set_time(double time) {

@@ -17,6 +17,12 @@ namespace photherm::thermal {
 struct TransientOptions {
   double time_step = 1e-3;  ///< [s]
   math::SolverOptions solver;
+  /// Representation of the stepping operator C/dt + A. The stencil form
+  /// skips the CSR triplet sort on every adaptive-dt rebuild (the diagonal
+  /// shift is one vector add) and runs the cheaper matrix-free SpMV; it
+  /// supports the identity/jacobi/chebyshev preconditioners (asking for
+  /// ssor/ilu0 throws at construction).
+  OperatorKind operator_kind = OperatorKind::kCsr;
   /// Seed each step's CG solve with the previous state. The stepping update
   /// (C/dt + A) T_{n+1} = (C/dt) T_n + q moves the field a little per step,
   /// so the previous state is an excellent initial guess and cuts the
@@ -42,6 +48,12 @@ struct TransientStats {
   /// Stepping-matrix rebuilds triggered by set_time_step (adaptive dt).
   /// The construction-time assembly is not counted.
   std::size_t reassemblies = 0;
+  /// Preconditioner rebuilds triggered by set_time_step. The solver caches
+  /// its preconditioner with the stepping operator (the construction-time
+  /// build is not counted, mirroring `reassemblies`), so this stays equal
+  /// to `reassemblies` instead of growing by one per step as the old
+  /// build-inside-CG path did.
+  std::size_t preconditioner_builds = 0;
 };
 
 /// Element-wise accumulation (max for the worst-step figure). The timeline
@@ -117,11 +129,21 @@ class TransientSolver {
 
  private:
   void refresh_field();
+  /// Rebuild C/dt + A and the preconditioner cached with it for the current
+  /// time step.
+  void rebuild_stepping();
+  /// The operator step() iterates on (CSR or stencil form per options).
+  const math::LinearOperator& stepping_operator() const;
 
   std::shared_ptr<const mesh::RectilinearMesh> mesh_;
   TransientOptions options_;
   DiscreteSystem system_;          ///< steady-state operator A and rhs q
-  math::CsrMatrix stepping_matrix_;  ///< C/dt + A
+  math::CsrMatrix stepping_matrix_;  ///< C/dt + A (kCsr path)
+  std::optional<math::StencilOperator7> stencil_a_;        ///< A (kStencil path)
+  std::optional<math::StencilOperator7> stepping_stencil_;  ///< C/dt + A (kStencil path)
+  /// Cached with the stepping operator and rebuilt only by set_time_step —
+  /// never per solve (see TransientStats::preconditioner_builds).
+  std::unique_ptr<math::Preconditioner> precond_;
   math::Vector power_;             ///< injected power per cell [W]
   math::Vector bc_rhs_;            ///< boundary wall terms of the rhs
   math::Vector state_;

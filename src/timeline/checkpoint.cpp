@@ -73,7 +73,8 @@ std::string serialize_checkpoints(const std::vector<PlaybackCheckpoint>& checkpo
     os << "periodic_step = " << t.periodic_steady_step << "\n";
     os << "cycle_delta = " << fmt(t.cycle_delta) << "\n";
     os << "stats = " << t.stats.steps << " " << t.stats.total_cg_iterations << " "
-       << t.stats.max_cg_iterations << " " << t.stats.reassemblies << "\n";
+       << t.stats.max_cg_iterations << " " << t.stats.reassemblies << " "
+       << t.stats.preconditioner_builds << "\n";
     os << "probes = " << join(t.probe_names, " ") << "\n";
     for (std::size_t k = 0; k < steps; ++k) {
       os << "row = " << fmt(t.times[k]) << " " << fmt(t.power_scale[k]) << " "
@@ -181,13 +182,16 @@ std::vector<PlaybackCheckpoint> parse_checkpoints(const std::string& text) {
         t.cycle_delta = parse_double(value, key);
       } else if (key == "stats") {
         const math::Vector parts = parse_vector(value, key);
-        if (parts.size() != 4) {
-          parse_fail(line_number, "stats expects 4 counters");
+        // 4-counter form: checkpoints written before preconditioner_builds
+        // existed; they resume with the new counter at zero.
+        if (parts.size() != 4 && parts.size() != 5) {
+          parse_fail(line_number, "stats expects 4 or 5 counters");
         }
         t.stats.steps = static_cast<std::size_t>(parts[0]);
         t.stats.total_cg_iterations = static_cast<std::size_t>(parts[1]);
         t.stats.max_cg_iterations = static_cast<std::size_t>(parts[2]);
         t.stats.reassemblies = static_cast<std::size_t>(parts[3]);
+        t.stats.preconditioner_builds = parts.size() == 5 ? static_cast<std::size_t>(parts[4]) : 0;
       } else if (key == "probes") {
         t.probe_names.clear();
         std::istringstream names(value);

@@ -76,6 +76,7 @@ Playback::Playback(const scenario::ScenarioSpec& spec, const PlaybackOptions& op
   transient_options.time_step = dt_;
   transient_options.warm_start = options_.warm_start;
   transient_options.solver = options_.solver;
+  transient_options.operator_kind = options_.operator_kind;
   solver_.emplace(mesh_, boundary_set_, transient_options);
   solver_->set_uniform_state(spec.design.package.t_ambient);
 
@@ -121,6 +122,7 @@ Playback::Playback(const scenario::ScenarioSpec& spec, const PlaybackOptions& op
   transient_options.time_step = dt_;
   transient_options.warm_start = options_.warm_start;
   transient_options.solver = options_.solver;
+  transient_options.operator_kind = options_.operator_kind;
   solver_.emplace(mesh_, boundary_set_, transient_options);
   solver_->set_state(thermal::ThermalField(mesh_, checkpoint.state));
   solver_->set_time(checkpoint.time);
@@ -219,7 +221,13 @@ void Playback::solve_steady_reference(const PowerTimeline& base_timeline) {
     rhs[i] = assembled.rhs[i] - mesh_->power(i) + base_power_[i] + duty * modulated_power_[i];
   }
   math::SolverOptions reference_options = options_.solver;
-  math::conjugate_gradient(assembled.matrix, rhs, steady_reference_, reference_options);
+  // One preconditioner serves both reference solves: the matrix does not
+  // change between the first pass and the tightened re-solve, so rebuilding
+  // it there was pure waste.
+  const auto reference_precond = math::make_preconditioner(
+      reference_options.preconditioner, assembled.matrix, reference_options.chebyshev);
+  math::conjugate_gradient(assembled.matrix, rhs, steady_reference_, *reference_precond,
+                           reference_options);
 
   // Settle/CG tolerance guard: the reference's noise floor — its relative
   // tolerance times the field scale — must sit well below the settle
@@ -241,7 +249,8 @@ void Playback::solve_steady_reference(const PowerTimeline& base_timeline) {
                 << "solver noise; tightening the reference solve from rel_tolerance "
                 << reference_options.rel_tolerance << " to " << tightened;
     reference_options.rel_tolerance = tightened;
-    math::conjugate_gradient(assembled.matrix, rhs, steady_reference_, reference_options);
+    math::conjugate_gradient(assembled.matrix, rhs, steady_reference_, *reference_precond,
+                             reference_options);
   }
   trace_.reference_tolerance = reference_options.rel_tolerance;
 }

@@ -81,7 +81,8 @@ INSTANTIATE_TEST_SUITE_P(AllPreconditioners, PreconditionerSweep,
                          ::testing::Values(PreconditionerKind::kIdentity,
                                            PreconditionerKind::kJacobi,
                                            PreconditionerKind::kSsor,
-                                           PreconditionerKind::kIlu0),
+                                           PreconditionerKind::kIlu0,
+                                           PreconditionerKind::kChebyshev),
                          [](const auto& info) {
                            switch (info.param) {
                              case PreconditionerKind::kIdentity:
@@ -92,6 +93,8 @@ INSTANTIATE_TEST_SUITE_P(AllPreconditioners, PreconditionerSweep,
                                return "Ssor";
                              case PreconditionerKind::kIlu0:
                                return "Ilu0";
+                             case PreconditionerKind::kChebyshev:
+                               return "Chebyshev";
                            }
                            return "Unknown";
                          });
@@ -350,6 +353,127 @@ TEST(Solvers, GaussSeidelRespectsMaxIterationsBudget) {
   const SolverResult result = gauss_seidel(a, b, x, options);
   EXPECT_FALSE(result.converged);
   EXPECT_EQ(result.iterations, 17u);
+}
+
+// --- Preconditioner hazard regressions. -------------------------------------
+
+/// Diagonal matrix with one bad (zero or negative) entry.
+CsrMatrix diagonal_matrix(std::size_t n, std::size_t bad_row, double bad_value) {
+  CsrBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add(i, i, i == bad_row ? bad_value : 2.0);
+  }
+  return builder.build();
+}
+
+/// The guard must fire at construction and name the offending row — a zero
+/// diagonal otherwise divides to inf and surfaces much later as a cryptic
+/// CG non-convergence.
+TEST(PreconditionerGuards, JacobiNamesNonPositiveDiagonalRow) {
+  const CsrMatrix a = diagonal_matrix(6, 3, 0.0);
+  try {
+    JacobiPreconditioner precond(a);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 3"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(JacobiPreconditioner(diagonal_matrix(6, 2, -1.5)), Error);
+}
+
+TEST(PreconditionerGuards, Ilu0NamesNonPositiveDiagonalRow) {
+  try {
+    Ilu0Preconditioner precond(diagonal_matrix(8, 5, -0.25));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 5"), std::string::npos) << e.what();
+  }
+}
+
+TEST(PreconditionerGuards, SsorNamesNonPositiveDiagonalRow) {
+  try {
+    SsorPreconditioner precond(diagonal_matrix(4, 1, 0.0));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(PreconditionerGuards, ChebyshevNamesNonPositiveDiagonalRow) {
+  try {
+    ChebyshevPreconditioner precond(diagonal_matrix(7, 4, 0.0));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 4"), std::string::npos) << e.what();
+  }
+}
+
+/// Regression for the stale-matrix hazard: SSOR used to keep a raw pointer
+/// into the caller's CsrMatrix, so rebuilding (or destroying) A between
+/// applies made apply() read freed or rewritten storage. It now owns a
+/// copy: the apply result must stay bit-identical no matter what happens
+/// to A after construction.
+TEST(PreconditionerGuards, SsorSurvivesMatrixRebuild) {
+  const std::size_t n = 50;
+  const Vector r(n, 1.0);
+  auto a = std::make_unique<CsrMatrix>(laplacian(n));
+  const SsorPreconditioner precond(*a);
+  Vector z_before;
+  precond.apply(r, z_before);
+
+  *a = nonsymmetric(n);  // reassemble in place
+  Vector z_after_rebuild;
+  precond.apply(r, z_after_rebuild);
+  EXPECT_EQ(z_before, z_after_rebuild);
+
+  a.reset();  // destroy A outright
+  Vector z_after_free;
+  precond.apply(r, z_after_free);
+  EXPECT_EQ(z_before, z_after_free);
+}
+
+/// Same ownership contract for Chebyshev (it clones the operator).
+TEST(PreconditionerGuards, ChebyshevSurvivesMatrixRebuild) {
+  const std::size_t n = 50;
+  const Vector r(n, 1.0);
+  auto a = std::make_unique<CsrMatrix>(laplacian(n));
+  const ChebyshevPreconditioner precond(*a);
+  Vector z_before;
+  precond.apply(r, z_before);
+  a.reset();
+  Vector z_after;
+  precond.apply(r, z_after);
+  EXPECT_EQ(z_before, z_after);
+}
+
+/// The caller-owned-preconditioner overload must run the exact same
+/// iteration as the kind-based one — bit-identical solution and equal
+/// iteration count — so callers can cache M across solves without changing
+/// results.
+TEST(Solvers, CachedPreconditionerOverloadMatchesKindBased) {
+  const std::size_t n = 200;
+  const CsrMatrix a = laplacian(n);
+  const Vector b(n, 1.0);
+
+  SolverOptions options;
+  options.preconditioner = PreconditionerKind::kIlu0;
+  Vector x_kind;
+  const SolverResult by_kind = conjugate_gradient(a, b, x_kind, options);
+
+  const Ilu0Preconditioner cached(a);
+  Vector x_cached;
+  const SolverResult by_cached = conjugate_gradient(a, b, x_cached, cached, options);
+
+  EXPECT_EQ(by_kind.iterations, by_cached.iterations);
+  EXPECT_EQ(x_kind, x_cached);
+}
+
+TEST(Solvers, PreconditionerKindRoundTripsThroughStrings) {
+  for (PreconditionerKind kind :
+       {PreconditionerKind::kIdentity, PreconditionerKind::kJacobi, PreconditionerKind::kSsor,
+        PreconditionerKind::kIlu0, PreconditionerKind::kChebyshev}) {
+    EXPECT_EQ(preconditioner_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(preconditioner_kind_from_string("multigrid"), Error);
 }
 
 }  // namespace

@@ -1,0 +1,393 @@
+/// Tests for the matrix-free 7-point stencil operator and the Chebyshev
+/// preconditioner: equivalence with the CSR assembly on non-uniform meshes
+/// with every boundary face active, bit-identical threading, and the
+/// stencil solve path end to end.
+#include "math/stencil_operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/preconditioner.hpp"
+#include "math/solvers.hpp"
+#include "support/fixtures.hpp"
+#include "thermal/fvm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace photherm::math {
+namespace {
+
+using fixtures::add_heater;
+using fixtures::uniform_mesh_options;
+using fixtures::uniform_slab;
+using geometry::Box3;
+using thermal::BoundarySet;
+using thermal::Face;
+using thermal::FaceBc;
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  Vector v(n);
+  Rng rng(seed);
+  for (double& x : v) {
+    x = rng.uniform(-1.0, 1.0);
+  }
+  return v;
+}
+
+/// Slab with an off-centre heater block: the block's edges insert mesh
+/// ticks, so the x/y axes are genuinely non-uniform; two z layers via an
+/// explicit cell cap make z non-uniform as well.
+mesh::RectilinearMesh heated_mesh(double cell_xy, double cell_z) {
+  const double a = 1e-3;
+  const double t = 200e-6;
+  geometry::Scene scene = uniform_slab(a, t);
+  add_heater(scene, Box3::make({0.3e-3, 0.45e-3, 0.0}, {0.75e-3, 0.8e-3, t}), 0.5);
+  return mesh::RectilinearMesh::build(scene, uniform_mesh_options(cell_xy, cell_z));
+}
+
+/// Every face non-adiabatic, mixing all three fixing BC kinds.
+BoundarySet all_faces_bcs() {
+  BoundarySet bcs;
+  bcs[Face::kXMin] = FaceBc::convection(500.0, 30.0);
+  bcs[Face::kXMax] = FaceBc::dirichlet(45.0);
+  bcs[Face::kYMin] = FaceBc::dirichlet_field(
+      [](const geometry::Vec3& p) { return 25.0 + 1e4 * p.x; });
+  bcs[Face::kYMax] = FaceBc::convection(2e3, 22.0);
+  bcs[Face::kZMin] = FaceBc::convection(1e3, 25.0);
+  bcs[Face::kZMax] = FaceBc::dirichlet(60.0);
+  return bcs;
+}
+
+TEST(Stencil, MatchesCsrOnNonUniformMeshWithAllBcFaces) {
+  const auto mesh = heated_mesh(60e-6, 90e-6);
+  ASSERT_GT(mesh.nx(), 2u);
+  ASSERT_GT(mesh.nz(), 1u);
+  const BoundarySet bcs = all_faces_bcs();
+
+  const thermal::DiscreteSystem csr = thermal::assemble(mesh, bcs);
+  const thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, bcs);
+
+  // rhs and capacitance come from the shared assembly core: bit-equal.
+  EXPECT_EQ(csr.rhs, stencil.rhs);
+  EXPECT_EQ(csr.capacitance, stencil.capacitance);
+
+  // The operators match coefficient for coefficient up to the CsrBuilder's
+  // unspecified duplicate-summation order (a few ULP on the diagonal).
+  const std::size_t n = mesh.cell_count();
+  const Vector x = random_vector(n, 3);
+  Vector y_csr, y_stencil;
+  csr.matrix.apply(x, y_csr, 1);
+  stencil.op.apply(x, y_stencil, 1);
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scale = std::max(scale, std::abs(y_csr[i]));
+  }
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y_stencil[i], y_csr[i], 1e-13 * scale) << "row " << i;
+  }
+}
+
+TEST(Stencil, FromCsrAppliesBitIdenticallyToCsr) {
+  const auto mesh = heated_mesh(80e-6, 90e-6);
+  const thermal::DiscreteSystem csr = thermal::assemble(mesh, all_faces_bcs());
+  const StencilOperator7 op =
+      StencilOperator7::from_csr(csr.matrix, mesh.nx(), mesh.ny(), mesh.nz());
+
+  // Same values, same ascending-column accumulation order -> the matrix-free
+  // kernel reproduces the CSR SpMV exactly, not just approximately.
+  const Vector x = random_vector(mesh.cell_count(), 11);
+  Vector y_csr, y_stencil;
+  csr.matrix.apply(x, y_csr, 1);
+  op.apply(x, y_stencil, 1);
+  EXPECT_EQ(y_csr, y_stencil);
+  EXPECT_EQ(csr.matrix.diagonal(), op.diagonal());
+}
+
+TEST(Stencil, ToCsrRoundTripIsExact) {
+  const auto mesh = heated_mesh(80e-6, 90e-6);
+  const thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, all_faces_bcs());
+  const CsrMatrix csr = stencil.op.to_csr();
+  const StencilOperator7 back =
+      StencilOperator7::from_csr(csr, mesh.nx(), mesh.ny(), mesh.nz());
+  EXPECT_EQ(back.diag(), stencil.op.diag());
+  EXPECT_EQ(back.west(), stencil.op.west());
+  EXPECT_EQ(back.east(), stencil.op.east());
+  EXPECT_EQ(back.south(), stencil.op.south());
+  EXPECT_EQ(back.north(), stencil.op.north());
+  EXPECT_EQ(back.down(), stencil.op.down());
+  EXPECT_EQ(back.up(), stencil.op.up());
+}
+
+TEST(Stencil, ApplyIsBitIdenticalAcrossThreadCounts) {
+  // 26^3 = 17576 rows exceeds kSerialCutoff, so the threaded kernel runs.
+  const double a = 1e-3;
+  geometry::Scene scene = uniform_slab(a, a);
+  const auto mesh =
+      mesh::RectilinearMesh::build(scene, uniform_mesh_options(a / 26.0, a / 26.0));
+  ASSERT_GE(mesh.cell_count(), util::kSerialCutoff);
+
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(1e4, 25.0);
+  const thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, bcs);
+  const Vector x = random_vector(mesh.cell_count(), 17);
+
+  Vector y1, y2, y4;
+  stencil.op.apply(x, y1, 1);
+  stencil.op.apply(x, y2, 2);
+  stencil.op.apply(x, y4, 4);
+  EXPECT_EQ(y1, y2);
+  EXPECT_EQ(y1, y4);
+}
+
+TEST(Stencil, AddToDiagonalShiftsOnlyTheDiagonal) {
+  const auto mesh = heated_mesh(100e-6, 0.0);
+  thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, all_faces_bcs());
+  const StencilOperator7 original = stencil.op;
+
+  Vector shift(mesh.cell_count());
+  for (std::size_t i = 0; i < shift.size(); ++i) {
+    shift[i] = static_cast<double>(i + 1);
+  }
+  stencil.op.add_to_diagonal(shift);
+  for (std::size_t i = 0; i < shift.size(); ++i) {
+    EXPECT_DOUBLE_EQ(stencil.op.diag()[i], original.diag()[i] + shift[i]);
+  }
+  EXPECT_EQ(stencil.op.west(), original.west());
+  EXPECT_EQ(stencil.op.up(), original.up());
+}
+
+TEST(Stencil, FromCsrRejectsOffPatternEntries) {
+  // 2x2x2 grid; (0, 3) is neither a face neighbour of cell 0 nor the
+  // diagonal.
+  CsrBuilder builder(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    builder.add(i, i, 6.0);
+  }
+  builder.add(0, 3, -1.0);
+  EXPECT_THROW(StencilOperator7::from_csr(builder.build(), 2, 2, 2), Error);
+
+  // An in-pattern offset on the wrong side of a grid seam must also be
+  // rejected: (1, 2) has offset +1 but cell 1 is at ix == nx - 1.
+  CsrBuilder seam(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    seam.add(i, i, 6.0);
+  }
+  seam.add(1, 2, -1.0);
+  EXPECT_THROW(StencilOperator7::from_csr(seam.build(), 2, 2, 2), Error);
+}
+
+TEST(Stencil, GershgorinBoundContainsJacobiScaledSpectrum) {
+  const auto mesh = heated_mesh(80e-6, 90e-6);
+  const thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, all_faces_bcs());
+  const std::size_t n = mesh.cell_count();
+
+  Vector inv_diag = stencil.op.diagonal();
+  for (double& d : inv_diag) {
+    ASSERT_GT(d, 0.0);
+    d = 1.0 / d;
+  }
+  const double bound = stencil.op.scaled_row_sum_bound(inv_diag);
+  ASSERT_TRUE(std::isfinite(bound));
+  // The scaled row sum includes the diagonal itself, so the bound is >= 1.
+  EXPECT_GE(bound, 1.0);
+
+  // Power iteration on B = D^{-1} A: its estimate grows toward the true
+  // spectral radius from below, so it must stay under the bound.
+  Vector v = random_vector(n, 23);
+  Vector av(n);
+  double estimate = 0.0;
+  for (int iter = 0; iter < 30; ++iter) {
+    stencil.op.apply(v, av, 1);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      av[i] *= inv_diag[i];
+      norm += av[i] * av[i];
+    }
+    norm = std::sqrt(norm);
+    ASSERT_GT(norm, 0.0);
+    double vnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      vnorm += v[i] * v[i];
+    }
+    estimate = norm / std::sqrt(vnorm);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = av[i] / norm;
+    }
+  }
+  EXPECT_LE(estimate, bound * (1.0 + 1e-12));
+}
+
+// --- Chebyshev preconditioning on the stencil path. --------------------------
+
+TEST(Chebyshev, PreconditionerIsSymmetric) {
+  const auto mesh = heated_mesh(80e-6, 90e-6);
+  const thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, all_faces_bcs());
+  const ChebyshevPreconditioner precond(stencil.op);
+  const std::size_t n = mesh.cell_count();
+
+  // CG needs a symmetric M^{-1}: <M^{-1}u, v> == <u, M^{-1}v>.
+  const Vector u = random_vector(n, 5);
+  const Vector v = random_vector(n, 6);
+  Vector mu, mv;
+  precond.apply(u, mu, 1);
+  precond.apply(v, mv, 1);
+  double left = 0.0, right = 0.0, mag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    left += mu[i] * v[i];
+    right += u[i] * mv[i];
+    mag += std::abs(mu[i] * v[i]);
+  }
+  EXPECT_NEAR(left, right, 1e-12 * std::max(1.0, mag));
+}
+
+TEST(Chebyshev, SameResultOnCsrAndStencilForms) {
+  const auto mesh = heated_mesh(80e-6, 90e-6);
+  const thermal::DiscreteSystem csr = thermal::assemble(mesh, all_faces_bcs());
+  const StencilOperator7 op =
+      StencilOperator7::from_csr(csr.matrix, mesh.nx(), mesh.ny(), mesh.nz());
+
+  const ChebyshevPreconditioner from_csr_matrix(csr.matrix);
+  const ChebyshevPreconditioner from_stencil(op);
+  EXPECT_EQ(from_csr_matrix.lambda_max(), from_stencil.lambda_max());
+
+  const Vector r = random_vector(mesh.cell_count(), 9);
+  Vector z_csr, z_stencil;
+  from_csr_matrix.apply(r, z_csr, 1);
+  from_stencil.apply(r, z_stencil, 1);
+  EXPECT_EQ(z_csr, z_stencil);
+}
+
+TEST(Chebyshev, ApplyIsBitIdenticalAcrossThreadCounts) {
+  const double a = 1e-3;
+  geometry::Scene scene = uniform_slab(a, a);
+  const auto mesh =
+      mesh::RectilinearMesh::build(scene, uniform_mesh_options(a / 26.0, a / 26.0));
+  ASSERT_GE(mesh.cell_count(), util::kSerialCutoff);
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(1e4, 25.0);
+  const thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, bcs);
+  const ChebyshevPreconditioner precond(stencil.op);
+
+  const Vector r = random_vector(mesh.cell_count(), 31);
+  Vector z1, z2, z4;
+  precond.apply(r, z1, 1);
+  precond.apply(r, z2, 2);
+  precond.apply(r, z4, 4);
+  EXPECT_EQ(z1, z2);
+  EXPECT_EQ(z1, z4);
+}
+
+TEST(Chebyshev, StencilCgMatchesIlu0CsrField) {
+  const auto mesh = heated_mesh(60e-6, 90e-6);
+  const BoundarySet bcs = all_faces_bcs();
+
+  const thermal::DiscreteSystem csr = thermal::assemble(mesh, bcs);
+  const thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, bcs);
+
+  SolverOptions ilu0_options;
+  ilu0_options.rel_tolerance = 1e-12;
+  ilu0_options.preconditioner = PreconditionerKind::kIlu0;
+  Vector t_ilu0;
+  const SolverResult r_ilu0 = conjugate_gradient(csr.matrix, csr.rhs, t_ilu0, ilu0_options);
+  ASSERT_TRUE(r_ilu0.converged);
+
+  SolverOptions chebyshev_options;
+  chebyshev_options.rel_tolerance = 1e-12;
+  chebyshev_options.preconditioner = PreconditionerKind::kChebyshev;
+  Vector t_chebyshev;
+  const SolverResult r_chebyshev =
+      conjugate_gradient(stencil.op, stencil.rhs, t_chebyshev, chebyshev_options);
+  ASSERT_TRUE(r_chebyshev.converged);
+
+  double scale = 1.0;
+  for (double t : t_ilu0) {
+    scale = std::max(scale, std::abs(t));
+  }
+  for (std::size_t i = 0; i < t_ilu0.size(); ++i) {
+    EXPECT_NEAR(t_chebyshev[i], t_ilu0[i], 1e-9 * scale) << "cell " << i;
+  }
+}
+
+TEST(Chebyshev, StencilOperatorRejectsSparsityPreconditioners) {
+  const auto mesh = heated_mesh(100e-6, 0.0);
+  const thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, all_faces_bcs());
+  EXPECT_THROW(make_preconditioner(PreconditionerKind::kSsor, stencil.op), Error);
+  EXPECT_THROW(make_preconditioner(PreconditionerKind::kIlu0, stencil.op), Error);
+  // The kinds that do work build fine.
+  EXPECT_NE(make_preconditioner(PreconditionerKind::kJacobi, stencil.op), nullptr);
+  EXPECT_NE(make_preconditioner(PreconditionerKind::kChebyshev, stencil.op), nullptr);
+}
+
+TEST(Chebyshev, SettingsAreValidated) {
+  const auto mesh = heated_mesh(100e-6, 0.0);
+  const thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, all_faces_bcs());
+  ChebyshevSettings bad_degree;
+  bad_degree.degree = 0;
+  EXPECT_THROW(ChebyshevPreconditioner(stencil.op, bad_degree), Error);
+  ChebyshevSettings bad_ratio;
+  bad_ratio.eig_ratio = 1.0;
+  EXPECT_THROW(ChebyshevPreconditioner(stencil.op, bad_ratio), Error);
+}
+
+TEST(Chebyshev, ShiftedOperatorTightensTheSpectrumInterval) {
+  const auto mesh = heated_mesh(100e-6, 0.0);
+  thermal::StencilSystem stencil = thermal::assemble_stencil(mesh, all_faces_bcs());
+
+  // The lower bound is the best of the eig_ratio fallback and the
+  // Gershgorin disc floor 2 - lambda_max of the Jacobi-scaled operator.
+  const ChebyshevPreconditioner bare(stencil.op);
+  EXPECT_NEAR(bare.lambda_min(),
+              std::max(bare.lambda_max() / ChebyshevSettings().eig_ratio,
+                       2.0 - bare.lambda_max()),
+              1e-12 * bare.lambda_max());
+
+  // A strong diagonal shift (transient stepping with a small dt) squeezes
+  // the Jacobi-scaled spectrum toward 1; the lower bound must follow it
+  // instead of staying at lambda_max / eig_ratio.
+  Vector shift = stencil.capacitance;
+  const double dt = 1e-6;
+  for (double& c : shift) {
+    c /= dt;
+  }
+  stencil.op.add_to_diagonal(shift);
+  const ChebyshevPreconditioner shifted(stencil.op);
+  EXPECT_LT(shifted.lambda_max(), 1.5);
+  EXPECT_NEAR(shifted.lambda_min(), 2.0 - shifted.lambda_max(),
+              1e-12 * shifted.lambda_max());
+  EXPECT_GT(shifted.lambda_min(), shifted.lambda_max() / ChebyshevSettings().eig_ratio);
+}
+
+TEST(Chebyshev, SteadyStateStencilFieldMatchesCsr) {
+  // End to end through solve_steady_state: the flagged stencil+Chebyshev
+  // path must reproduce the default CSR+ILU(0) field.
+  const double a = 1e-3;
+  const double t = 200e-6;
+  geometry::Scene scene = uniform_slab(a, t);
+  add_heater(scene, Box3::make({0.25e-3, 0.25e-3, 0.0}, {0.75e-3, 0.75e-3, t}), 0.4);
+  const auto options = uniform_mesh_options(60e-6, 90e-6);
+  BoundarySet bcs;
+  bcs[Face::kZMax] = FaceBc::convection(1e4, 25.0);
+  bcs[Face::kZMin] = FaceBc::convection(1e3, 25.0);
+
+  const auto field_csr =
+      thermal::solve_steady_state(mesh::RectilinearMesh::build(scene, options), bcs);
+
+  thermal::SteadyStateOptions stencil_options;
+  stencil_options.operator_kind = thermal::OperatorKind::kStencil;
+  stencil_options.solver.preconditioner = PreconditionerKind::kChebyshev;
+  const auto field_stencil = thermal::solve_steady_state(
+      mesh::RectilinearMesh::build(scene, options), bcs, stencil_options);
+
+  const auto& t_csr = field_csr.temperatures();
+  const auto& t_stencil = field_stencil.temperatures();
+  ASSERT_EQ(t_csr.size(), t_stencil.size());
+  for (std::size_t i = 0; i < t_csr.size(); ++i) {
+    EXPECT_NEAR(t_stencil[i], t_csr[i], 1e-6) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace photherm::math

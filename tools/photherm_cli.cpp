@@ -58,7 +58,7 @@ int usage(std::ostream& os, int exit_code) {
         "                                           run the batch, emit CSV\n"
         "  play <suite> [--dt SEC] [--periods N] [--tol DEGC] [--until-settle]\n"
         "               [--adaptive] [--max-period-error REL] [--cold-start]\n"
-        "               [--summary] [--threads N]\n"
+        "               [--stencil] [--precond NAME] [--summary] [--threads N]\n"
         "               [--pause-after N --checkpoint FILE] [--resume FILE]\n"
         "               [-o FILE]\n"
         "                                           transient playback, emit\n"
@@ -177,6 +177,7 @@ int cmd_play(const std::vector<std::string>& args) {
   std::size_t pause_after = 0;
   std::optional<std::string> checkpoint_path;
   std::optional<std::string> resume_path;
+  bool explicit_precond = false;
   timeline::PlaybackOptions playback;
 
   const CommonArgs parsed =
@@ -185,7 +186,13 @@ int cmd_play(const std::vector<std::string>& args) {
           PH_REQUIRE(i + 1 < args.size(), std::string(what) + " needs a value");
           return args[++i];
         };
-        if (arg == "--dt") {
+        if (arg == "--stencil") {
+          playback.operator_kind = thermal::OperatorKind::kStencil;
+        } else if (arg == "--precond") {
+          playback.solver.preconditioner =
+              math::preconditioner_kind_from_string(value("--precond"));
+          explicit_precond = true;
+        } else if (arg == "--dt") {
           playback.time_step = parse_double(value("--dt"), "--dt");
         } else if (arg == "--periods") {
           periods = static_cast<std::size_t>(parse_uint(value("--periods"), "--periods"));
@@ -218,6 +225,11 @@ int cmd_play(const std::vector<std::string>& args) {
              "--pause-after needs --checkpoint FILE to save the paused state");
   PH_REQUIRE(!checkpoint_path || pause_after > 0,
              "--checkpoint needs --pause-after N (when to pause)");
+  // The stencil path has no CSR sparsity, so the default ILU(0) cannot
+  // apply; pick its natural partner unless the user chose explicitly.
+  if (playback.operator_kind == thermal::OperatorKind::kStencil && !explicit_precond) {
+    playback.solver.preconditioner = math::PreconditionerKind::kChebyshev;
+  }
 
   // Fixed-horizon by default (stop_on_settle off, 40 periods) so the CSV
   // shape is schedule-determined — what the golden smoke test pins down.
