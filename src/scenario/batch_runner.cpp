@@ -104,7 +104,7 @@ Table batch_table(const std::vector<ScenarioSpec>& scenarios, const BatchResult&
                "p_vcsel_w", "heater_ratio", "waveguides", "wdm_channels", "fanout",
                "chip_avg_c", "oni_avg_c", "oni_spread_c", "max_gradient_c", "gradient_ok",
                "worst_snr_db", "undetectable", "links_ok"});
-  table.set_precision(17);
+  table.set_exact();
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const ScenarioSpec& s = scenarios[i];
     const core::DesignReport& report = result.reports[i];

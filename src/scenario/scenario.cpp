@@ -64,12 +64,14 @@ const std::vector<FieldIo>& field_table() {
        [](ScenarioSpec& s, const std::string& v) {
          s.design.chip_power = parse_double(v, "chip_power");
        }},
+      // ph-lint: allow(serialization) integral field; integers round-trip exactly
       {"seed", [](const ScenarioSpec& s) { return std::to_string(s.design.seed); },
        [](ScenarioSpec& s, const std::string& v) { s.design.seed = parse_uint(v, "seed"); }},
       {"placement", [](const ScenarioSpec& s) { return core::to_string(s.design.placement); },
        [](ScenarioSpec& s, const std::string& v) {
          s.design.placement = core::placement_from_string(v);
        }},
+      // ph-lint: allow(serialization) integral field; integers round-trip exactly
       {"ring_case", [](const ScenarioSpec& s) { return std::to_string(s.design.ring_case_id); },
        [](ScenarioSpec& s, const std::string& v) {
          s.design.ring_case_id = static_cast<int>(parse_uint(v, "ring_case"));
@@ -83,6 +85,7 @@ const std::vector<FieldIo>& field_table() {
          s.design.heater_ratio = parse_double(v, "heater_ratio");
        }},
       {"active_tx",
+       // ph-lint: allow(serialization) integral field; integers round-trip exactly
        [](const ScenarioSpec& s) { return std::to_string(s.design.active_tx_per_waveguide); },
        [](ScenarioSpec& s, const std::string& v) {
          s.design.active_tx_per_waveguide = parse_uint(v, "active_tx");
@@ -106,13 +109,16 @@ const std::vector<FieldIo>& field_table() {
        [](ScenarioSpec& s, const std::string& v) {
          s.design.package.h_bottom = parse_double(v, "h_bottom");
        }},
+      // ph-lint: allow(serialization) integral field; integers round-trip exactly
       {"fanout", [](const ScenarioSpec& s) { return std::to_string(s.design.fanout); },
        [](ScenarioSpec& s, const std::string& v) { s.design.fanout = parse_uint(v, "fanout"); }},
+      // ph-lint: allow(serialization) integral field; integers round-trip exactly
       {"waveguides", [](const ScenarioSpec& s) { return std::to_string(s.design.waveguides); },
        [](ScenarioSpec& s, const std::string& v) {
          s.design.waveguides = parse_uint(v, "waveguides");
        }},
       {"wdm_channels",
+       // ph-lint: allow(serialization) integral field; integers round-trip exactly
        [](const ScenarioSpec& s) { return std::to_string(s.design.wdm_channels); },
        [](ScenarioSpec& s, const std::string& v) {
          s.design.wdm_channels = parse_uint(v, "wdm_channels");
@@ -163,6 +169,7 @@ bool valid_name(const std::string& name) {
 }
 
 [[noreturn]] void parse_fail(std::size_t line_number, const std::string& message) {
+  // ph-lint: allow(serialization) integral line number in an error message, not persisted output
   throw SpecError("scenario file, line " + std::to_string(line_number) + ": " + message);
 }
 

@@ -31,6 +31,7 @@ math::Vector parse_vector(const std::string& value, const std::string& what) {
 }
 
 [[noreturn]] void parse_fail(std::size_t line_number, const std::string& message) {
+  // ph-lint: allow(serialization) integral line number in an error message, not persisted output
   throw SpecError("checkpoint file, line " + std::to_string(line_number) + ": " + message);
 }
 

@@ -122,7 +122,7 @@ Table timeline_table(const TimelineBatchResult& result) {
     header.push_back(name + "_c");
   }
   Table table(std::move(header));
-  table.set_precision(17);
+  table.set_exact();
   for (const TimelineTrace& trace : result.traces) {
     for (std::size_t k = 0; k < trace.step_count(); ++k) {
       std::vector<TableCell> row{trace.scenario, static_cast<double>(k), trace.times[k],
@@ -140,7 +140,7 @@ Table timeline_summary_table(const TimelineBatchResult& result) {
   Table table({"scenario", "steps", "period_s", "settled", "settle_time_s", "final_delta_c",
                "periodic", "periodic_time_s", "cycle_delta_c", "final_dt_s", "dt_growths",
                "cg_iterations", "max_step_cg"});
-  table.set_precision(17);
+  table.set_exact();
   for (const TimelineTrace& trace : result.traces) {
     table.add_row({trace.scenario, static_cast<double>(trace.step_count()), trace.period,
                    std::string(trace.settled ? "yes" : "no"), trace.settle_time,

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace photherm {
 
@@ -28,7 +29,14 @@ std::string Table::format_cell(const TableCell& cell) const {
   if (const auto* text = std::get_if<std::string>(&cell)) {
     return *text;
   }
+  if (precision_ == kExactPrecision) {
+    // Exact mode: shortest spelling that parses back to the identical
+    // double, so CSV consumers (diff tools, golden comparisons, resumed
+    // playbacks) can round-trip cells bit-for-bit.
+    return format_shortest(std::get<double>(cell));
+  }
   std::ostringstream os;
+  // ph-lint: allow(serialization) caller opted into lossy display precision
   os << std::setprecision(precision_) << std::get<double>(cell);
   return os.str();
 }

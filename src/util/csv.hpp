@@ -29,8 +29,18 @@ class Table {
   /// Number of columns.
   std::size_t column_count() const { return header_.size(); }
 
+  /// Numeric cells formatted at kExactPrecision use util::format_shortest —
+  /// the shortest decimal spelling that parses back to the identical double —
+  /// so persisted CSVs round-trip bit-for-bit. Every other precision is a
+  /// lossy display mode.
+  static constexpr int kExactPrecision = 17;
+
   /// Set the number of significant digits used for numeric cells (default 4).
+  /// kExactPrecision (17) selects exact shortest-round-trip formatting.
   void set_precision(int digits);
+
+  /// Exact mode: numeric cells round-trip bit-for-bit (see kExactPrecision).
+  void set_exact() { set_precision(kExactPrecision); }
 
   /// Render as an aligned, human-readable table.
   std::string to_text() const;

@@ -1,0 +1,33 @@
+// photherm_lint fixture: the determinism rule MUST fire on this file.
+//
+// Wall clocks and ambient randomness make two runs differ; iterating an
+// unordered container visits hash order, so any output or accumulation it
+// feeds loses bit-identity across platforms and standard libraries.
+// Fixtures are scanned, not compiled.
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace photherm {
+
+inline double ambient_noise() {
+  std::random_device entropy;        // non-deterministic seed
+  std::srand(entropy());             // ambient global state
+  return std::rand() / 2147483647.0; /* unseeded draw */
+}
+
+inline long stamp() {
+  return time(nullptr);  // wall clock in library code
+}
+
+inline double hash_order_sum(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, weight] : weights) {  // hash-order accumulation
+    total += weight;
+  }
+  return total;
+}
+
+}  // namespace photherm

@@ -1,0 +1,36 @@
+// photherm_lint fixture: the errors rule MUST fire on this file.
+//
+// Throwing anything that is not photherm::Error (or a subclass, by the
+// project convention of type names ending in `Error`) breaks the contract
+// that callers and the test suite can assert on failure modes; abort() and
+// exit() skip the contract entirely. Fixtures are scanned, not compiled.
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace photherm {
+
+inline void reject(const std::string& what) {
+  throw std::runtime_error(what);  // not a photherm::Error
+}
+
+inline void reject_literal() {
+  throw "bad input";  // untyped throw
+}
+
+inline void reject_logic(int value) {
+  if (value < 0) {
+    throw std::logic_error("negative");
+  }
+}
+
+inline void give_up() {
+  std::abort();  // not an error path
+}
+
+inline void bail(int code) {
+  exit(code);  // skips every destructor and every test assertion
+}
+
+}  // namespace photherm

@@ -1,0 +1,36 @@
+// photherm_lint fixture: the serialization rule MUST fire on this file.
+// (The fixture config lists it as a persisted-format writer.)
+//
+// Every spelling here loses the exact-round-trip guarantee: std::to_string
+// truncates doubles to 6 digits, iostream precision either truncates or
+// over-spells, and printf float conversions do both. Persisted doubles go
+// through util::format_shortest. Fixtures are scanned, not compiled.
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace photherm {
+
+inline std::string checkpoint_line(double temperature) {
+  return "t=" + std::to_string(temperature);  // 6 digits: 0.1+0.2 won't round-trip
+}
+
+inline std::string csv_cell(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;  // truncated spelling
+  return os.str();
+}
+
+inline std::string fixed_cell(double value) {
+  std::ostringstream os;
+  os << std::fixed << value;
+  return os.str();
+}
+
+inline int printf_cell(char* buffer, double value) {
+  return std::sprintf(buffer, "%.17g", value);  // printf float conversion
+}
+
+}  // namespace photherm

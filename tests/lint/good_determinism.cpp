@@ -1,0 +1,53 @@
+// photherm_lint fixture: the determinism rule must stay SILENT on this file.
+//
+// Deterministic spellings of the patterns in bad_determinism.cpp: seeded
+// util::Rng draws, keyed unordered lookups (no iteration), ordered
+// containers for anything that feeds output, and member functions that
+// merely *name* time. Fixtures are scanned, not compiled.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace photherm {
+
+inline double seeded_noise(std::uint64_t seed) {
+  Rng rng(seed);  // every stochastic input derives from an explicit seed
+  return rng.uniform(0.0, 1.0);
+}
+
+class Clocked {
+ public:
+  double time() const { return time_; }    // accessor named `time` is fine
+  void set_time(double time) { time_ = time; }
+
+ private:
+  double time_ = 0.0;
+};
+
+inline double keyed_lookup(const std::unordered_map<std::string, double>& cache,
+                           const std::vector<std::string>& ordered_keys) {
+  // Lookups are deterministic; only iteration visits hash order. Walk the
+  // caller's ordered key list instead of the container.
+  double total = 0.0;
+  for (const std::string& key : ordered_keys) {
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+      total += it->second;
+    }
+  }
+  return total;
+}
+
+inline double sorted_sum(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, weight] : weights) {  // std::map iterates in key order
+    total += weight;
+  }
+  return total;
+}
+
+}  // namespace photherm

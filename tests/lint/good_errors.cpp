@@ -1,0 +1,43 @@
+// photherm_lint fixture: the errors rule must stay SILENT on this file.
+//
+// The blessed spellings: PH_REQUIRE for preconditions, photherm::Error and
+// its subclasses (any type ending in `Error`) for everything else, bare
+// `throw;` to rethrow, and prose about throwing in comments or literals.
+// Fixtures are scanned, not compiled.
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace photherm {
+
+inline void require_positive(double value) {
+  PH_REQUIRE(value > 0.0, "value must be positive");
+}
+
+inline void reject(const std::string& what) {
+  throw SpecError("invalid spec: " + what);
+}
+
+inline void diverge() {
+  throw SolverError("did not converge");
+}
+
+inline void reject_qualified() {
+  throw ::photherm::Error("qualified spelling");
+}
+
+inline void annotate_and_rethrow(const std::string& context) {
+  try {
+    diverge();
+  } catch (const Error&) {
+    (void)context;
+    throw;  // rethrow keeps the original type
+  }
+}
+
+inline std::string describe() {
+  return "call sites may throw std::runtime_error only in this string";
+}
+
+}  // namespace photherm

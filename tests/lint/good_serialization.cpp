@@ -1,0 +1,30 @@
+// photherm_lint fixture: the serialization rule must stay SILENT on this
+// file, even though the fixture config lists it as a persisted-format
+// writer: every double goes through util::format_shortest, integral
+// std::to_string carries an inline allow naming the type, and prose
+// mentioning std::to_string or %g lives in comments and string literals the
+// scanner blanks. Fixtures are scanned, not compiled.
+
+#include <string>
+
+#include "util/string_util.hpp"
+
+namespace photherm {
+
+inline std::string checkpoint_line(double temperature) {
+  // format_shortest: the shortest spelling that parses back bit-identically.
+  return "t=" + format_shortest(temperature);
+}
+
+inline std::string row_header(std::size_t row) {
+  // ph-lint: allow(serialization) std::size_t row index; integers round-trip exactly
+  return "row" + std::to_string(row);
+}
+
+inline std::string describe() {
+  // A message *about* formatting is not formatting: `std::to_string` below
+  // lives in a string literal the scanner blanks before the rules run.
+  return std::string("doubles are written with format_shortest, never std::to_string");
+}
+
+}  // namespace photherm

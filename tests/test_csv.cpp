@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace photherm {
 namespace {
@@ -49,6 +50,36 @@ TEST(Table, PrecisionControlsNumericFormat) {
   EXPECT_NE(table.to_csv().find("3.14\n"), std::string::npos);
   EXPECT_THROW(table.set_precision(0), Error);
   EXPECT_THROW(table.set_precision(99), Error);
+}
+
+// Exact mode (set_exact / precision 17) routes numeric cells through
+// util::format_shortest: the shortest spelling that parses back to the
+// identical double, so persisted CSVs round-trip bit-for-bit. The lint
+// serialization rule forbids iostream-precision doubles in persisted
+// formats; this pins the replacement behaviour.
+TEST(Table, ExactModeUsesShortestRoundTripSpelling) {
+  Table table({"v"});
+  table.set_exact();
+  // 0.1 + 0.2 != 0.3: the shortest round-trip spelling keeps the extra
+  // digits where they matter...
+  const double awkward = 0.1 + 0.2;
+  table.add_row({awkward});
+  // ...and common values stay readable instead of 17-digit spellings.
+  table.add_row({0.3});
+  EXPECT_EQ(table.to_csv(), "v\n" + format_shortest(awkward) + "\n0.3\n");
+  EXPECT_NE(format_shortest(awkward), "0.3");
+  // The cell text parses back to the exact bits that were formatted.
+  EXPECT_EQ(std::stod(format_shortest(awkward)), awkward);
+}
+
+TEST(Table, SetExactMatchesPrecision17) {
+  Table by_exact({"v"});
+  by_exact.set_exact();
+  Table by_precision({"v"});
+  by_precision.set_precision(Table::kExactPrecision);
+  by_exact.add_row({1.0 / 3.0});
+  by_precision.add_row({1.0 / 3.0});
+  EXPECT_EQ(by_exact.to_csv(), by_precision.to_csv());
 }
 
 TEST(Table, EmptyHeaderRejected) { EXPECT_THROW(Table({}), Error); }
