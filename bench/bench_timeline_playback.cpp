@@ -9,12 +9,20 @@
 ///    until settle on the fixed grid and with adaptive stepping, and
 ///    report linear solves (steps), total CG iterations, steps/sec and
 ///    the matrix reassemblies the growth cost.
+///
+/// `--benchmark_format=json` swaps the human tables for Google-Benchmark-
+/// shaped JSON (a `context` object and a `benchmarks` array with per-run
+/// counters), so the CI perf-artifact job can collect this plain binary
+/// alongside the real gbench ones.
 #include <chrono>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "scenario/registry.hpp"
 #include "timeline/runner.hpp"
 #include "util/csv.hpp"
+#include "util/string_util.hpp"
 
 using namespace photherm;
 
@@ -42,9 +50,42 @@ void add_row(Table& table, const char* mode, const Run& run) {
   table.add_row({std::string(mode), steps, iters, iters / steps, steps / run.seconds});
 }
 
+/// One entry of the gbench-shaped `benchmarks` array: wall time plus the
+/// playback counters as user counters, mirroring what google-benchmark
+/// emits for a counter-carrying run.
+void emit_json_benchmark(std::ostream& os, const char* name, const Run& run, bool last) {
+  const double steps = static_cast<double>(run.result.stats.total_steps);
+  const double iters = static_cast<double>(run.result.stats.total_cg_iterations);
+  os << "    {\n"
+     << "      \"name\": \"" << name << "\",\n"
+     << "      \"run_name\": \"" << name << "\",\n"
+     << "      \"run_type\": \"iteration\",\n"
+     << "      \"repetitions\": 1,\n"
+     << "      \"iterations\": 1,\n"
+     << "      \"real_time\": " << format_shortest(run.seconds) << ",\n"
+     << "      \"cpu_time\": " << format_shortest(run.seconds) << ",\n"
+     << "      \"time_unit\": \"s\",\n"
+     << "      \"steps\": " << format_shortest(steps) << ",\n"
+     << "      \"cg_iterations\": " << format_shortest(iters) << ",\n"
+     << "      \"iters_per_step\": " << format_shortest(iters / steps) << ",\n"
+     << "      \"steps_per_second\": " << format_shortest(steps / run.seconds) << "\n"
+     << "    }" << (last ? "\n" : ",\n");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--benchmark_format=json") {
+      json = true;
+    } else {
+      std::cerr << "bench_timeline_playback: unknown option `" << argv[i]
+                << "` (supported: --benchmark_format=json)\n";
+      return 2;
+    }
+  }
+
   const std::vector<scenario::ScenarioSpec> suite = scenario::builtin_suite("transient");
 
   timeline::PlaybackOptions fixed_horizon;
@@ -56,18 +97,6 @@ int main() {
 
   const Run warm = play(suite, fixed_horizon);
   const Run cold = play(suite, cold_start);
-
-  Table table({"mode", "steps", "CG iterations", "iters/step", "steps/sec"});
-  add_row(table, "warm start", warm);
-  add_row(table, "cold start", cold);
-  print_table(std::cout, "timeline playback (builtin:transient, fixed 60-period horizon)", table);
-
-  const double saved =
-      1.0 - static_cast<double>(warm.result.stats.total_cg_iterations) /
-                static_cast<double>(cold.result.stats.total_cg_iterations);
-  std::cout << "warm-start saves " << saved * 100.0 << "% of the CG iterations on this "
-            << "horizon (the margin widens near settle, where a warm step costs O(1) "
-            << "iterations)\n";
 
   // Settle-bound horizon: the adaptive scheme grows the step while the
   // field crawls, so the same settled field costs a small, horizon-
@@ -81,6 +110,31 @@ int main() {
 
   const Run fixed_run = play(soak, until_settle);
   const Run adaptive_run = play(soak, adaptive);
+
+  if (json) {
+    std::cout << "{\n  \"context\": {\n"
+              << "    \"executable\": \"bench_timeline_playback\",\n"
+              << "    \"library_build_type\": \"release\"\n"
+              << "  },\n  \"benchmarks\": [\n";
+    emit_json_benchmark(std::cout, "timeline_playback/transient_warm_start", warm, false);
+    emit_json_benchmark(std::cout, "timeline_playback/transient_cold_start", cold, false);
+    emit_json_benchmark(std::cout, "timeline_playback/soak_fixed_dt", fixed_run, false);
+    emit_json_benchmark(std::cout, "timeline_playback/soak_adaptive_dt", adaptive_run, true);
+    std::cout << "  ]\n}\n";
+    return 0;
+  }
+
+  Table table({"mode", "steps", "CG iterations", "iters/step", "steps/sec"});
+  add_row(table, "warm start", warm);
+  add_row(table, "cold start", cold);
+  print_table(std::cout, "timeline playback (builtin:transient, fixed 60-period horizon)", table);
+
+  const double saved =
+      1.0 - static_cast<double>(warm.result.stats.total_cg_iterations) /
+                static_cast<double>(cold.result.stats.total_cg_iterations);
+  std::cout << "warm-start saves " << saved * 100.0 << "% of the CG iterations on this "
+            << "horizon (the margin widens near settle, where a warm step costs O(1) "
+            << "iterations)\n";
 
   Table soak_table({"mode", "steps", "CG iterations", "iters/step", "steps/sec"});
   add_row(soak_table, "fixed dt", fixed_run);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 
 namespace photherm::math {
 
@@ -47,13 +48,17 @@ void scaled_copy(const Vector& r, const Vector& d, Vector& z, std::size_t thread
 
 }  // namespace
 
-void IdentityPreconditioner::apply(const Vector& r, Vector& z, std::size_t) const { z = r; }
+void IdentityPreconditioner::apply(const Vector& r, Vector& z, std::size_t) const {
+  telemetry::count("precond.identity.applies");
+  z = r;
+}
 
 JacobiPreconditioner::JacobiPreconditioner(const LinearOperator& a)
     : inv_diag_(checked_inverse_diagonal(a, "Jacobi preconditioner")) {}
 
 void JacobiPreconditioner::apply(const Vector& r, Vector& z, std::size_t threads) const {
   PH_REQUIRE(r.size() == inv_diag_.size(), "Jacobi apply: size mismatch");
+  telemetry::count("precond.jacobi.applies");
   scaled_copy(r, inv_diag_, z, threads);
 }
 
@@ -73,6 +78,7 @@ SsorPreconditioner::SsorPreconditioner(const CsrMatrix& a, double omega)
 void SsorPreconditioner::apply(const Vector& r, Vector& z, std::size_t) const {
   const std::size_t n = diag_.size();
   PH_REQUIRE(r.size() == n, "SSOR apply: size mismatch");
+  telemetry::count("precond.ssor.applies");
 
   // Forward sweep: (D/w + L) y = r
   Vector y(n, 0.0);
@@ -163,6 +169,7 @@ Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a)
 
 void Ilu0Preconditioner::apply(const Vector& r, Vector& z, std::size_t) const {
   PH_REQUIRE(r.size() == n_, "ILU(0) apply: size mismatch");
+  telemetry::count("precond.ilu0.applies");
   // Solve L y = r (unit lower triangular).
   Vector y(n_);
   for (std::size_t i = 0; i < n_; ++i) {
@@ -209,6 +216,7 @@ ChebyshevPreconditioner::ChebyshevPreconditioner(const LinearOperator& a,
 void ChebyshevPreconditioner::apply(const Vector& r, Vector& z, std::size_t threads) const {
   const std::size_t n = inv_diag_.size();
   PH_REQUIRE(r.size() == n, "Chebyshev apply: size mismatch");
+  telemetry::count("precond.chebyshev.applies");
 
   // Chebyshev iteration on (D^{-1} A) z = D^{-1} r with zero initial
   // guess (Saad, Iterative Methods, Alg. 12.1), tracking the unscaled
@@ -290,6 +298,10 @@ PreconditionerKind preconditioner_kind_from_string(const std::string& name) {
 std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind,
                                                     const LinearOperator& a,
                                                     const ChebyshevSettings& chebyshev) {
+  telemetry::Span span("precond.build", to_string(kind));
+  if (telemetry::enabled()) {
+    telemetry::count(std::string("precond.") + to_string(kind) + ".builds");
+  }
   switch (kind) {
     case PreconditionerKind::kIdentity:
       return std::make_unique<IdentityPreconditioner>();

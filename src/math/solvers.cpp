@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace photherm::math {
 
@@ -25,6 +26,12 @@ SolverResult finalize(const LinearOperator& a, const Vector& b, const Vector& x,
   result.iterations = iters;
   result.residual_norm = norm2(r, options.threads);
   result.relative_residual = norm_b > 0.0 ? result.residual_norm / norm_b : result.residual_norm;
+  if (telemetry::enabled()) {
+    const std::string prefix = std::string("solver.") + name;
+    telemetry::count(prefix + ".solves");
+    telemetry::count(prefix + ".iterations", iters);
+    telemetry::gauge((prefix + ".relative_residual").c_str(), result.relative_residual);
+  }
   // Judged on the true residual against the tolerance the caller actually
   // requested; any loosening must be asked for via convergence_slack.
   result.converged =
@@ -60,6 +67,7 @@ SolverResult conjugate_gradient(const LinearOperator& a, const Vector& b, Vector
                                 const Preconditioner& precond, const SolverOptions& options) {
   PH_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix");
   PH_REQUIRE(b.size() == a.rows(), "CG: rhs size mismatch");
+  telemetry::Span span("solver.conjugate_gradient");
   const std::size_t n = a.rows();
   prepare_initial_guess(x, n);
   const std::size_t threads = resolve_threads(options);
@@ -111,6 +119,7 @@ SolverResult bicgstab(const LinearOperator& a, const Vector& b, Vector& x,
                       const Preconditioner& precond, const SolverOptions& options) {
   PH_REQUIRE(a.rows() == a.cols(), "BiCGSTAB requires a square matrix");
   PH_REQUIRE(b.size() == a.rows(), "BiCGSTAB: rhs size mismatch");
+  telemetry::Span span("solver.bicgstab");
   const std::size_t n = a.rows();
   prepare_initial_guess(x, n);
   const std::size_t threads = resolve_threads(options);
@@ -185,6 +194,7 @@ SolverResult gauss_seidel(const CsrMatrix& a, const Vector& b, Vector& x,
                           const SolverOptions& options) {
   PH_REQUIRE(a.rows() == a.cols(), "Gauss-Seidel requires a square matrix");
   PH_REQUIRE(b.size() == a.rows(), "Gauss-Seidel: rhs size mismatch");
+  telemetry::Span span("solver.gauss_seidel");
   const std::size_t n = a.rows();
   prepare_initial_guess(x, n);
   const auto& row_ptr = a.row_ptr();

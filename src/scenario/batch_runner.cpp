@@ -6,6 +6,7 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace photherm::scenario {
@@ -30,6 +31,7 @@ BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
   BatchResult result;
   result.stats.scenario_count = n;
   result.reports.resize(n);
+  telemetry::count("batch.scenarios", n);
 
   if (!options_.share_global_solves) {
     // Cold path: every scenario performs its own coarse solve. Reports land
@@ -39,12 +41,15 @@ BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
         n, 1,
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
+            telemetry::Span span("batch.scenario", scenarios[i].name.c_str());
+            telemetry::ScopedTimer wall("batch.scenario.wall");
             with_error_context("scenario `" + scenarios[i].name + "`",
                                [&] { result.reports[i] = designers[i].run(); });
           }
         },
         options_.threads);
     result.stats.global_solves = n;
+    telemetry::count("batch.cache.misses", n);
     return result;
   }
 
@@ -73,6 +78,8 @@ BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
       representative.size(), 1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t g = begin; g < end; ++g) {
+          telemetry::Span span("batch.global_solve",
+                               scenarios[representative[g]].name.c_str());
           with_error_context("scenario `" + scenarios[representative[g]].name + "`",
                              [&] { globals[g] = designers[representative[g]].solve_global(); });
         }
@@ -85,6 +92,8 @@ BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
       n, 1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
+          telemetry::Span span("batch.scenario", scenarios[i].name.c_str());
+          telemetry::ScopedTimer wall("batch.scenario.wall");
           with_error_context(
               "scenario `" + scenarios[i].name + "`",
               [&] { result.reports[i] = designers[i].run(*globals[group_of[i]]); });
@@ -94,6 +103,8 @@ BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
 
   result.stats.global_solves = representative.size();
   result.stats.cache_hits = n - representative.size();
+  telemetry::count("batch.cache.misses", representative.size());
+  telemetry::count("batch.cache.hits", result.stats.cache_hits);
   return result;
 }
 

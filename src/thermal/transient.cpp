@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 
 namespace photherm::thermal {
 
@@ -92,6 +93,7 @@ const ThermalField& TransientSolver::step() {
   stats_.steps += 1;
   stats_.total_cg_iterations += last_solve_.iterations;
   stats_.max_cg_iterations = std::max(stats_.max_cg_iterations, last_solve_.iterations);
+  telemetry::count("transient.steps");
   time_ += options_.time_step;
   refresh_field();
   return *field_;
@@ -111,9 +113,14 @@ void TransientSolver::set_time_step(double dt) {
     return;
   }
   options_.time_step = dt;
-  rebuild_stepping();
+  {
+    telemetry::Span span("transient.reassemble");
+    rebuild_stepping();
+  }
   stats_.reassemblies += 1;
   stats_.preconditioner_builds += 1;
+  telemetry::count("transient.reassemblies");
+  telemetry::count("transient.preconditioner_builds");
 }
 
 void TransientSolver::rebuild_stepping() {

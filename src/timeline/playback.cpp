@@ -8,6 +8,7 @@
 #include "core/methodology.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace photherm::timeline {
 
@@ -129,6 +130,7 @@ Playback::Playback(const scenario::ScenarioSpec& spec, const PlaybackOptions& op
 
   trace_ = checkpoint.trace;
   stats_offset_ = checkpoint.trace.stats;
+  telemetry::instant("checkpoint.resumes");
   solve_steady_reference(base);
 
   // Recreate the grid in effect at the pause: the base grid, or the one
@@ -208,6 +210,7 @@ void Playback::build_scene(const scenario::ScenarioSpec& spec) {
 }
 
 void Playback::solve_steady_reference(const PowerTimeline& base_timeline) {
+  telemetry::Span span("playback.steady_reference", trace_.scenario.c_str());
   // Steady reference at the timeline's duty: the settle detector's target.
   // Reuses the solver's own assembly (same mesh, so the comparison is
   // cell-for-cell). Uses the timeline's (quantized) average scale, not the
@@ -346,6 +349,7 @@ void Playback::maybe_grow_dt() {
   solver_->set_time_step(dt_);
   adopt_timeline(std::move(grown));
   trace_.dt_growths += 1;
+  telemetry::count("playback.dt_growths");
   trace_.final_time_step = dt_;
 }
 
@@ -388,6 +392,7 @@ void Playback::step_once() {
   }
 
   const thermal::ThermalField& field = solver_->step();
+  telemetry::count("playback.steps");
   trace_.times.push_back(solver_->time());
   trace_.power_scale.push_back(timeline_.segments[segment].scale);
   trace_.cg_iterations.push_back(solver_->last_solve().iterations);

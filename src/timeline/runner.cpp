@@ -4,6 +4,7 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace photherm::timeline {
@@ -69,6 +70,9 @@ TimelineBatchResult TimelineRunner::play(
       n, 1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
+          telemetry::Span span("playback.scenario", scenarios[i].name.c_str());
+          telemetry::ScopedTimer wall("playback.scenario.wall");
+          telemetry::count("playback.scenarios");
           with_error_context("scenario `" + scenarios[i].name + "`", [&] {
             Playback playback = resume_from[i] != nullptr
                                     ? Playback(scenarios[i], options_.playback, *resume_from[i])
@@ -77,6 +81,7 @@ TimelineBatchResult TimelineRunner::play(
             if (!playback.finished()) {
               checkpoints[i] = playback.checkpoint();
               paused[i] = 1;
+              telemetry::instant("checkpoint.pauses");
             }
             result.traces[i] = playback.take_trace();
           });

@@ -1,0 +1,418 @@
+#include "util/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace photherm::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One metric's thread-local accumulation. Counters and timers keep their
+/// totals in integers (no precision loss at any count); gauges accumulate
+/// doubles. Merging across threads is summation / min / max throughout, so
+/// the merged value is independent of the merge order up to the (timing-
+/// dependent anyway) double sums of gauges.
+struct MetricCell {
+  char kind = 'c';  ///< 'c'ounter, 'g'auge, 't'imer
+  std::uint64_t observations = 0;
+  std::uint64_t total_int = 0;  ///< counter deltas / timer nanoseconds
+  double total_real = 0.0;      ///< gauge sum
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void merge(const MetricCell& other) {
+    observations += other.observations;
+    total_int += other.total_int;
+    total_real += other.total_real;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string detail;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = -1;  ///< -1 = instant event
+  std::uint32_t depth = 0;
+};
+
+/// Everything one thread records. The owning thread appends under its own
+/// mutex — uncontended in steady state (the exporter only takes it at
+/// export/reset time), so accumulation never crosses a cache line with
+/// another recording thread.
+struct ThreadState {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::string label;
+  // std::map keeps per-thread metrics name-ordered from the start, so the
+  // merged export order never depends on hash seeds or insertion order.
+  std::map<std::string, MetricCell> metrics;
+  std::vector<TraceEvent> events;
+  std::uint32_t span_depth = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  /// Registration order; states outlive their threads (shared_ptr also held
+  /// thread-locally), so a pool destroyed mid-run loses no data.
+  std::vector<std::shared_ptr<ThreadState>> states;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: usable during exit
+  return *instance;
+}
+
+ThreadState& thread_state() {
+  thread_local std::shared_ptr<ThreadState> state = [] {
+    auto s = std::make_shared<ThreadState>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    s->tid = static_cast<std::uint32_t>(reg.states.size() + 1);
+    std::ostringstream label;
+    label << "thread-" << s->tid;
+    s->label = s->tid == 1 ? "main" : label.str();
+    reg.states.push_back(s);
+    return s;
+  }();
+  return *state;
+}
+
+/// The standard catalog (see telemetry.hpp). Kind letters as in MetricCell.
+const std::vector<std::pair<std::string, std::string>>& catalog() {
+  static const std::vector<std::pair<std::string, std::string>> entries = {
+      {"batch.cache.hits", "counter"},
+      {"batch.cache.misses", "counter"},
+      {"batch.scenario.wall", "timer"},
+      {"batch.scenarios", "counter"},
+      {"checkpoint.pauses", "counter"},
+      {"checkpoint.resumes", "counter"},
+      {"playback.dt_growths", "counter"},
+      {"playback.scenario.wall", "timer"},
+      {"playback.scenarios", "counter"},
+      {"playback.steps", "counter"},
+      {"pool.queue_wait", "timer"},
+      {"precond.chebyshev.applies", "counter"},
+      {"precond.chebyshev.builds", "counter"},
+      {"precond.identity.applies", "counter"},
+      {"precond.identity.builds", "counter"},
+      {"precond.ilu0.applies", "counter"},
+      {"precond.ilu0.builds", "counter"},
+      {"precond.jacobi.applies", "counter"},
+      {"precond.jacobi.builds", "counter"},
+      {"precond.ssor.applies", "counter"},
+      {"precond.ssor.builds", "counter"},
+      {"solver.bicgstab.iterations", "counter"},
+      {"solver.bicgstab.relative_residual", "gauge"},
+      {"solver.bicgstab.solves", "counter"},
+      {"solver.conjugate_gradient.iterations", "counter"},
+      {"solver.conjugate_gradient.relative_residual", "gauge"},
+      {"solver.conjugate_gradient.solves", "counter"},
+      {"solver.gauss_seidel.iterations", "counter"},
+      {"solver.gauss_seidel.relative_residual", "gauge"},
+      {"solver.gauss_seidel.solves", "counter"},
+      {"spmv.csr", "counter"},
+      {"spmv.stencil", "counter"},
+      {"transient.preconditioner_builds", "counter"},
+      {"transient.reassemblies", "counter"},
+      {"transient.steps", "counter"},
+  };
+  return entries;
+}
+
+char kind_letter(const std::string& kind_name) {
+  return kind_name == "timer" ? 't' : kind_name == "gauge" ? 'g' : 'c';
+}
+
+const char* kind_name(char kind) {
+  switch (kind) {
+    case 'g':
+      return "gauge";
+    case 't':
+      return "timer";
+    default:
+      return "counter";
+  }
+}
+
+/// Seed the catalog into the calling thread's state so every standard
+/// metric exports a row even at zero.
+void seed_catalog() {
+  ThreadState& state = thread_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& [name, kind] : catalog()) {
+    state.metrics[name].kind = kind_letter(kind);
+  }
+}
+
+MetricCell& cell(ThreadState& state, const std::string& name, char kind) {
+  MetricCell& c = state.metrics[name];
+  c.kind = kind;
+  return c;
+}
+
+/// JSON string escaping (RFC 8259): quotes, backslashes and control
+/// characters; everything else passes through byte-for-byte.
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (ch < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[ch >> 4] << hex[ch & 0xf];
+        } else {
+          os << static_cast<char>(ch);
+        }
+    }
+  }
+  return os.str();
+}
+
+/// Trace timestamps are Chrome-format microseconds; format_shortest keeps
+/// them exact (integer nanoseconds / 1000 is exact in double far beyond any
+/// session length) without the lint-banned setprecision machinery.
+std::string format_us(std::int64_t ns) { return format_shortest(static_cast<double>(ns) / 1e3); }
+
+void write_text_file(const std::string& path, const std::string& payload) {
+  std::ofstream out(path);
+  PH_REQUIRE(out.good(), "cannot open telemetry output file: " + path);
+  out << payload;
+  out.flush();
+  PH_REQUIRE(out.good(), "failed while writing telemetry output file: " + path);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t now_ns() {
+  // The single clock read in src/ (photherm_lint determinism allowlist):
+  // monotonic, process-local epoch, used for trace/metric timing only —
+  // never fed back into numerical state.
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                              epoch)
+      .count();
+}
+
+void count_slow(const std::string& name, std::uint64_t delta) {
+  ThreadState& state = thread_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  MetricCell& c = cell(state, name, 'c');
+  c.observations += 1;
+  c.total_int += delta;
+}
+
+void gauge_slow(const std::string& name, double value) {
+  ThreadState& state = thread_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  MetricCell& c = cell(state, name, 'g');
+  c.observations += 1;
+  c.total_real += value;
+  c.min = std::min(c.min, value);
+  c.max = std::max(c.max, value);
+}
+
+void timer_slow(const std::string& name, std::uint64_t elapsed_ns) {
+  ThreadState& state = thread_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  MetricCell& c = cell(state, name, 't');
+  c.observations += 1;
+  c.total_int += elapsed_ns;
+  c.min = std::min(c.min, static_cast<double>(elapsed_ns));
+  c.max = std::max(c.max, static_cast<double>(elapsed_ns));
+}
+
+void instant_slow(const std::string& name) {
+  const std::int64_t now = now_ns();
+  ThreadState& state = thread_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  MetricCell& c = cell(state, name, 'c');
+  c.observations += 1;
+  c.total_int += 1;
+  TraceEvent event;
+  event.name = name;
+  event.ts_ns = now;
+  event.dur_ns = -1;
+  event.depth = state.span_depth;
+  state.events.push_back(std::move(event));
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  if (on) {
+    seed_catalog();
+  }
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  // Registering this thread first keeps the lock order one-way: the
+  // registry lock below is never held while thread_state() wants it.
+  thread_state();
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> reg_lock(reg.mutex);
+    for (const auto& state : reg.states) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->metrics.clear();
+      state->events.clear();
+      state->span_depth = 0;
+    }
+  }
+  if (enabled()) {
+    // Keep the stable CSV shape for the next measurement window.
+    seed_catalog();
+  }
+}
+
+void set_thread_label(const std::string& label) {
+  ThreadState& state = thread_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.label = label;
+}
+
+void Span::begin(const char* name, std::string detail_text) {
+  name_ = name;
+  detail_ = std::move(detail_text);
+  ThreadState& state = thread_state();
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.span_depth += 1;
+  }
+  // The clock read comes last so the span's own bookkeeping is outside the
+  // measured interval.
+  start_ns_ = detail::now_ns();
+}
+
+void Span::end() {
+  const std::int64_t end_ns = detail::now_ns();
+  ThreadState& state = thread_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.span_depth = state.span_depth > 0 ? state.span_depth - 1 : 0;
+  TraceEvent event;
+  event.name = name_;
+  event.detail = std::move(detail_);
+  event.ts_ns = start_ns_;
+  event.dur_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  event.depth = state.span_depth;
+  state.events.push_back(std::move(event));
+}
+
+const std::vector<std::pair<std::string, std::string>>& metric_catalog() { return catalog(); }
+
+Table metrics_table() {
+  // Merge thread blocks in registration order into a name-ordered map; the
+  // row order of the exported CSV is the lexicographic metric name order,
+  // independent of which threads recorded what when.
+  std::map<std::string, MetricCell> merged;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> reg_lock(reg.mutex);
+    for (const auto& state : reg.states) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      for (const auto& [name, c] : state->metrics) {
+        auto [it, fresh] = merged.try_emplace(name, c);
+        if (!fresh) {
+          it->second.merge(c);
+        }
+      }
+    }
+  }
+
+  Table table({"metric", "kind", "count", "total", "min", "max"});
+  table.set_exact();
+  for (const auto& [name, c] : merged) {
+    std::vector<TableCell> row{name, std::string(kind_name(c.kind)),
+                               static_cast<double>(c.observations)};
+    row.emplace_back(c.kind == 'g' ? c.total_real : static_cast<double>(c.total_int));
+    if (c.observations > 0 && c.kind != 'c') {
+      row.emplace_back(c.min);
+      row.emplace_back(c.max);
+    } else {
+      row.emplace_back(std::string());
+      row.emplace_back(std::string());
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string trace_json() {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event_json) {
+    os << (first ? "\n " : ",\n ") << event_json;
+    first = false;
+  };
+  emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":1,"
+       "\"args\":{\"name\":\"photherm\"}}");
+
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  for (const auto& state : reg.states) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    {
+      std::ostringstream event;
+      event << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << state->tid
+            << ",\"args\":{\"name\":\"" << json_escape(state->label) << "\"}}";
+      emit(event.str());
+    }
+    for (const TraceEvent& e : state->events) {
+      std::ostringstream event;
+      if (e.dur_ns < 0) {
+        event << "{\"ph\":\"i\",\"name\":\"" << json_escape(e.name) << "\",\"pid\":1,\"tid\":"
+              << state->tid << ",\"ts\":" << format_us(e.ts_ns) << ",\"s\":\"t\"}";
+      } else {
+        event << "{\"ph\":\"X\",\"name\":\"" << json_escape(e.name) << "\",\"pid\":1,\"tid\":"
+              << state->tid << ",\"ts\":" << format_us(e.ts_ns)
+              << ",\"dur\":" << format_us(e.dur_ns) << ",\"args\":{\"depth\":" << e.depth;
+        if (!e.detail.empty()) {
+          event << ",\"detail\":\"" << json_escape(e.detail) << "\"";
+        }
+        event << "}}";
+      }
+      emit(event.str());
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void write_metrics_csv(const std::string& path) { write_text_file(path, metrics_table().to_csv()); }
+
+void write_trace_json(const std::string& path) { write_text_file(path, trace_json()); }
+
+}  // namespace photherm::telemetry

@@ -1,0 +1,211 @@
+/// \file telemetry.hpp
+/// \brief Runtime-gated observability: a metrics registry (named counters,
+/// gauges and timers with thread-local accumulation, merged in deterministic
+/// name order and exported as exact-mode CSV) plus scoped trace spans (RAII,
+/// nestable, tagged with a per-thread label such as the thread-pool worker
+/// id) exported as Chrome trace-event JSON loadable in Perfetto or
+/// chrome://tracing.
+///
+/// Three contracts every instrumented call site relies on:
+///
+///  1. **Zero-overhead disabled mode.** Telemetry is off by default. Every
+///     recording entry point is an inline single-branch check of one relaxed
+///     atomic; with telemetry disabled no clock is read, no allocation
+///     happens and no lock is taken. Spans cost one branch on construction
+///     and one on destruction.
+///  2. **Telemetry never perturbs physics.** Recording is strictly
+///     write-only from the instrumented code's point of view: no solver,
+///     stepper or runner ever reads a telemetry value back into a
+///     computation, so every physics output (scenario CSVs, timeline
+///     traces, checkpoints) is byte-identical with telemetry on or off, at
+///     any thread count. The smoke suite enforces this bit-for-bit.
+///  3. **Thread safety.** All accumulation is thread-local; the global
+///     registry is only touched under a mutex when a thread first records,
+///     when a thread exits, and at export time. Concurrent spans and counter
+///     bumps from pool workers are race-free (TSan-covered).
+///
+/// Timing is inherently non-deterministic, which is why telemetry.cpp is
+/// the project's single allowlisted clock site under the photherm_lint
+/// determinism rule (tools/photherm_lint.rules): all wall-clock reads in
+/// src/ live behind this interface, and nothing they produce feeds back
+/// into numerical state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace photherm::telemetry {
+
+namespace detail {
+/// The runtime gate. Relaxed loads are fine: enabling mid-flight only has
+/// to eventually start recording, and the instrumented call sites never
+/// branch on telemetry data for anything but recording.
+extern std::atomic<bool> g_enabled;
+
+void count_slow(const std::string& name, std::uint64_t delta);
+void gauge_slow(const std::string& name, double value);
+void timer_slow(const std::string& name, std::uint64_t elapsed_ns);
+void instant_slow(const std::string& name);
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch. Only
+/// meaningful as differences; only ever called with telemetry enabled.
+std::int64_t now_ns();
+}  // namespace detail
+
+/// True while telemetry is recording. One relaxed atomic load.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Turn recording on or off. Enabling seeds the standard metric catalog
+/// (see metric_catalog()) so the exported CSV always carries the core
+/// solver/cache/playback rows, at zero, even for runs that never touch
+/// them. Disabling stops recording but keeps what was collected.
+void set_enabled(bool on);
+
+/// Drop every collected metric, span and thread label (the enabled flag is
+/// left alone; re-seeds the catalog when enabled). Tests and long-lived
+/// processes use this between measurement windows.
+void reset();
+
+/// Monotonic counter: `name` accumulates `delta` (merged across threads by
+/// summation). No-op while disabled. The const char* overloads exist so the
+/// hot-path call sites build no std::string before the enabled branch.
+inline void count(const char* name, std::uint64_t delta = 1) {
+  if (enabled()) {
+    detail::count_slow(name, delta);
+  }
+}
+inline void count(const std::string& name, std::uint64_t delta = 1) {
+  if (enabled()) {
+    detail::count_slow(name, delta);
+  }
+}
+
+/// Gauge observation: records `value` into `name`'s count/sum/min/max
+/// statistic. No-op while disabled.
+inline void gauge(const char* name, double value) {
+  if (enabled()) {
+    detail::gauge_slow(name, value);
+  }
+}
+
+/// Timer observation: adds an elapsed interval (nanoseconds) to `name`.
+/// Most callers want ScopedTimer instead of calling this directly.
+inline void timer_add(const std::string& name, std::uint64_t elapsed_ns) {
+  if (enabled()) {
+    detail::timer_slow(name, elapsed_ns);
+  }
+}
+
+/// Zero-duration marker in the trace (a Chrome "instant" event) plus a
+/// counter bump of the same name: pause/resume and other one-shot events.
+inline void instant(const char* name) {
+  if (enabled()) {
+    detail::instant_slow(name);
+  }
+}
+
+/// Label the calling thread in the trace ("pool-worker-3"); rendered via
+/// Chrome thread_name metadata. Cheap and callable regardless of the
+/// enabled state (the label is kept for when recording starts). The thread
+/// pool labels its workers; the main thread defaults to "main".
+void set_thread_label(const std::string& label);
+
+/// RAII trace span: the region between construction and destruction becomes
+/// one Chrome complete ("X") event on the calling thread's track, nested
+/// spans render nested (and carry an explicit depth argument). `detail`
+/// lands in the event's args. One branch when disabled.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) {
+      begin(name, std::string());
+    }
+  }
+  Span(const char* name, std::string detail_text) {
+    if (enabled()) {
+      begin(name, std::move(detail_text));
+    }
+  }
+  /// Literal-detail overload: no std::string is built while disabled.
+  Span(const char* name, const char* detail_text) {
+    if (enabled()) {
+      begin(name, std::string(detail_text));
+    }
+  }
+  ~Span() {
+    if (start_ns_ >= 0) {
+      end();
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name, std::string detail_text);
+  void end();
+
+  const char* name_ = nullptr;
+  std::string detail_;
+  std::int64_t start_ns_ = -1;  ///< -1 = span not recording
+};
+
+/// RAII timer: adds the construction-to-destruction interval to the timer
+/// metric `name`. Used for per-scenario wall time and pool queue waits;
+/// pairs with (but does not require) a Span of the same region.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name) {
+    if (enabled()) {
+      name_ = std::move(name);
+      start_ns_ = detail::now_ns();
+    }
+  }
+  /// Literal-name overload: no std::string is built while disabled.
+  explicit ScopedTimer(const char* name) {
+    if (enabled()) {
+      name_ = name;
+      start_ns_ = detail::now_ns();
+    }
+  }
+  ~ScopedTimer() {
+    if (start_ns_ >= 0) {
+      timer_add(name_, static_cast<std::uint64_t>(detail::now_ns() - start_ns_));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  std::int64_t start_ns_ = -1;
+};
+
+/// The standard metric names seeded (at zero) by set_enabled(true), so the
+/// exported CSV shape is stable across runs that exercise different paths.
+/// Documented in README.md ("Observability"); append-only by convention.
+const std::vector<std::pair<std::string, std::string>>& metric_catalog();
+
+/// Merged metrics as an exact-mode util::csv Table, rows in deterministic
+/// (lexicographic) metric-name order. Columns: metric, kind, count, total,
+/// min, max — `count` is the number of observations (counters: increments),
+/// `total` the accumulated value (counters: sum of deltas; timers:
+/// nanoseconds); min/max are per-observation extremes (empty for counters).
+Table metrics_table();
+
+/// Chrome trace-event JSON ("traceEvents" array of complete/instant/
+/// metadata events, microsecond timestamps) — open in Perfetto
+/// (https://ui.perfetto.dev) or chrome://tracing. Valid JSON even when
+/// nothing was recorded.
+std::string trace_json();
+
+/// Write metrics_table().to_csv() / trace_json() to `path`; throws
+/// photherm::Error on I/O failure.
+void write_metrics_csv(const std::string& path);
+void write_trace_json(const std::string& path);
+
+}  // namespace photherm::telemetry

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 
 namespace photherm::util {
 
@@ -53,6 +55,9 @@ struct ThreadPool::Impl {
     std::function<void(std::size_t)> fn;
     std::size_t count = 0;
     std::size_t max_extra_workers = 0;
+    /// Telemetry publish stamp (detail::now_ns at submit); -1 while
+    /// telemetry is disabled so workers read no clock and take no lock.
+    std::int64_t publish_ns = -1;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<std::size_t> claimed{0};
@@ -90,7 +95,10 @@ struct ThreadPool::Impl {
   std::uint64_t job_seq = 0;
   bool stop = false;
 
-  void worker_loop(std::uint64_t start_seq) {
+  void worker_loop(std::uint64_t start_seq, std::size_t worker_index) {
+    // The label is kept across enable/disable cycles, so traces recorded
+    // later still attribute spans to "pool-worker-N".
+    telemetry::set_thread_label("pool-worker-" + std::to_string(worker_index + 1));
     std::uint64_t seen = start_seq;
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
@@ -103,6 +111,12 @@ struct ThreadPool::Impl {
       lock.unlock();
       if (current &&
           current->claimed.fetch_add(1, std::memory_order_relaxed) < current->max_extra_workers) {
+        if (current->publish_ns >= 0 && telemetry::enabled()) {
+          // Wake-up latency between job submission and this worker joining.
+          telemetry::timer_add(
+              "pool.queue_wait",
+              static_cast<std::uint64_t>(telemetry::detail::now_ns() - current->publish_ns));
+        }
         t_in_pool_worker = true;
         current->execute_chunks();
         t_in_pool_worker = false;
@@ -113,7 +127,8 @@ struct ThreadPool::Impl {
 
   void spawn_locked(std::size_t how_many) {
     for (std::size_t i = 0; i < how_many; ++i) {
-      workers.emplace_back([this, seq = job_seq] { worker_loop(seq); });
+      workers.emplace_back(
+          [this, seq = job_seq, index = workers.size()] { worker_loop(seq, index); });
     }
   }
 };
@@ -173,6 +188,9 @@ void ThreadPool::run(std::size_t chunk_count, std::size_t max_threads,
   job->fn = chunk_fn;
   job->count = chunk_count;
   job->max_extra_workers = executors - 1;
+  if (telemetry::enabled()) {
+    job->publish_ns = telemetry::detail::now_ns();
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->job = job;

@@ -1,0 +1,22 @@
+// photherm_lint fixture: the determinism rule MUST fire on this file.
+//
+// A clock read outside the allowlisted telemetry site. The real tree
+// grants exactly one `allow determinism` clock entry —
+// src/util/telemetry.cpp — and this fixture proves that a second file
+// reaching for std::chrono directly (instead of routing through
+// util::telemetry's Span/ScopedTimer) is still caught. Fixtures are
+// scanned, not compiled.
+
+#include <chrono>
+#include <cstdint>
+
+namespace photherm {
+
+inline std::int64_t ad_hoc_stamp() {
+  // A "quick local timing hack" that bypasses util::telemetry: the clock
+  // read below must be flagged even though the intent is observability.
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch()).count();
+}
+
+}  // namespace photherm

@@ -1,0 +1,24 @@
+// photherm_lint fixture: the determinism rule must stay SILENT on this
+// file.
+//
+// This fixture mirrors src/util/telemetry.cpp's role as the project's
+// single allowlisted clock site: fixtures.rules carries an
+// `allow determinism` entry for it, exactly like the real
+// tools/photherm_lint.rules does for the telemetry implementation. The
+// clock read is identical to bad_telemetry_clock.cpp — only the allowlist
+// entry separates them, which is the mechanism under test. Fixtures are
+// scanned, not compiled.
+
+#include <chrono>
+#include <cstdint>
+
+namespace photherm {
+
+inline std::int64_t telemetry_site_stamp() {
+  // The one sanctioned spelling: a monotonic read inside the allowlisted
+  // telemetry implementation, never fed back into numerical state.
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch()).count();
+}
+
+}  // namespace photherm

@@ -21,9 +21,26 @@ function(run_cli)
   endif()
 endfunction()
 
+# Like run_cli, but also requires the stable key=value stats line on
+# stderr — the machine-readable contract scripts grep for.
+function(run_cli_expect_stderr regex)
+  execute_process(COMMAND ${PHOTHERM_CLI} ${ARGN} RESULT_VARIABLE rv ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "photherm_cli ${ARGN} failed with exit code ${rv}")
+  endif()
+  if(NOT err MATCHES "${regex}")
+    message(FATAL_ERROR "photherm_cli ${ARGN}: stderr does not match "
+                        "`${regex}`; got:\n${err}")
+  endif()
+endfunction()
+
 run_cli(expand builtin:smoke -o ${WORK_DIR}/suite.scn)
-run_cli(run ${WORK_DIR}/suite.scn --threads 1 --no-cache -o ${WORK_DIR}/serial.csv)
-run_cli(run ${WORK_DIR}/suite.scn --threads 4 -o ${WORK_DIR}/threaded.csv)
+run_cli_expect_stderr(
+    "event=batch_run scenarios=[0-9]+ global_solves=[0-9]+ cache_hits=0"
+    run ${WORK_DIR}/suite.scn --threads 1 --no-cache -o ${WORK_DIR}/serial.csv)
+run_cli_expect_stderr(
+    "event=batch_run scenarios=[0-9]+ global_solves=[0-9]+ cache_hits=[0-9]+"
+    run ${WORK_DIR}/suite.scn --threads 4 -o ${WORK_DIR}/threaded.csv)
 
 file(READ ${WORK_DIR}/serial.csv serial_csv)
 file(READ ${WORK_DIR}/threaded.csv threaded_csv)

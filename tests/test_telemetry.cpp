@@ -1,0 +1,335 @@
+#include "util/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+
+namespace photherm::telemetry {
+namespace {
+
+/// Every test starts from a blank slate and leaves telemetry disabled so
+/// the other suites in this binary (and their physics assertions) never see
+/// a recording session bleed through.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+/// One parsed "X"/"i" trace event. parse_events deliberately re-parses the
+/// JSON with a regex over the emitted shape: the test asserting
+/// well-formedness must not reuse the emitter's own serializer.
+struct ParsedEvent {
+  std::string ph;
+  std::string name;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< 0 for instant events
+  int depth = -1;       ///< -1 when absent (instant events)
+};
+
+std::vector<ParsedEvent> parse_events(const std::string& json) {
+  // One event object per line (the emitter writes them that way); match the
+  // fields the assertions need.
+  static const std::regex complete_re(
+      "\\{\"ph\":\"X\",\"name\":\"([^\"]*)\",\"pid\":1,\"tid\":([0-9]+),"
+      "\"ts\":([-0-9.e+]+),\"dur\":([-0-9.e+]+),\"args\":\\{\"depth\":([0-9]+)");
+  static const std::regex instant_re(
+      "\\{\"ph\":\"i\",\"name\":\"([^\"]*)\",\"pid\":1,\"tid\":([0-9]+),"
+      "\"ts\":([-0-9.e+]+),\"s\":\"t\"\\}");
+  std::vector<ParsedEvent> events;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::smatch m;
+    if (std::regex_search(line, m, complete_re)) {
+      events.push_back({"X", m[1], std::stoi(m[2]), std::stod(m[3]), std::stod(m[4]),
+                        std::stoi(m[5])});
+    } else if (std::regex_search(line, m, instant_re)) {
+      events.push_back({"i", m[1], std::stoi(m[2]), std::stod(m[3]), 0.0, -1});
+    }
+  }
+  return events;
+}
+
+/// Structural well-formedness without a JSON library: balanced braces and
+/// brackets outside strings, no trailing comma before a closer.
+void check_json_well_formed(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  bool escaped = false;
+  char last_significant = '\0';
+  for (char ch : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (ch == '\\') {
+        escaped = true;
+      } else if (ch == '"') {
+        in_string = false;
+        last_significant = '"';
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+        ++braces;
+        break;
+      case '}':
+        --braces;
+        ASSERT_NE(last_significant, ',') << "trailing comma before }";
+        break;
+      case '[':
+        ++brackets;
+        break;
+      case ']':
+        --brackets;
+        ASSERT_NE(last_significant, ',') << "trailing comma before ]";
+        break;
+      default:
+        break;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+    if (!std::isspace(static_cast<unsigned char>(ch))) {
+      last_significant = ch;
+    }
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+std::map<std::string, std::vector<std::string>> metrics_by_name() {
+  const Table table = metrics_table();
+  const std::string csv = table.to_csv();
+  std::map<std::string, std::vector<std::string>> rows;
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream cells_in(line);
+    while (std::getline(cells_in, cell, ',')) {
+      cells.push_back(cell);
+    }
+    cells.resize(6);  // empty trailing min/max cells
+    rows[cells[0]] = cells;
+  }
+  return rows;
+}
+
+TEST_F(TelemetryTest, DisabledRecordsNothingAndEmitsValidJson) {
+  ASSERT_FALSE(enabled());
+  count("solver.conjugate_gradient.iterations", 7);
+  gauge("solver.conjugate_gradient.relative_residual", 1e-9);
+  timer_add("pool.queue_wait", 123);
+  instant("checkpoint.pauses");
+  {
+    Span span("solver.conjugate_gradient");
+    ScopedTimer wall("playback.scenario.wall");
+  }
+  const Table table = metrics_table();
+  EXPECT_EQ(table.row_count(), 0u);
+  const std::string json = trace_json();
+  check_json_well_formed(json);
+  EXPECT_TRUE(parse_events(json).empty());
+}
+
+TEST_F(TelemetryTest, EnableSeedsTheCatalogAtZero) {
+  set_enabled(true);
+  const auto rows = metrics_by_name();
+  ASSERT_EQ(rows.size(), metric_catalog().size());
+  for (const auto& [name, kind] : metric_catalog()) {
+    ASSERT_TRUE(rows.count(name)) << name;
+    EXPECT_EQ(rows.at(name)[1], kind) << name;
+    EXPECT_EQ(rows.at(name)[2], "0") << name;
+    EXPECT_EQ(rows.at(name)[3], "0") << name;
+  }
+}
+
+TEST_F(TelemetryTest, MetricsCsvGolden) {
+  set_enabled(true);
+  count("golden.counter", 2);
+  count("golden.counter", 3);
+  gauge("golden.gauge", 2.5);
+  gauge("golden.gauge", -1.25);
+  timer_add("golden.timer", 40);
+  timer_add("golden.timer", 60);
+  const std::string csv = metrics_table().to_csv();
+  // The golden pins the exact-mode serialization contract: header shape,
+  // lexicographic row order, counters with empty min/max, gauges carrying
+  // per-observation extremes, timers in integer nanoseconds.
+  EXPECT_NE(csv.find("metric,kind,count,total,min,max\n"), std::string::npos);
+  EXPECT_NE(csv.find("golden.counter,counter,2,5,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("golden.gauge,gauge,2,1.25,-1.25,2.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("golden.timer,timer,2,100,40,60\n"), std::string::npos);
+  // Lexicographic order: the three golden rows appear in name order.
+  EXPECT_LT(csv.find("golden.counter"), csv.find("golden.gauge"));
+  EXPECT_LT(csv.find("golden.gauge"), csv.find("golden.timer"));
+  // And they sort into the seeded catalog, not after it.
+  EXPECT_LT(csv.find("checkpoint.resumes"), csv.find("golden.counter"));
+  EXPECT_LT(csv.find("golden.timer"), csv.find("playback.steps"));
+}
+
+TEST_F(TelemetryTest, SpanNestingDepthAndContainment) {
+  set_enabled(true);
+  {
+    Span outer("outer");
+    {
+      Span middle("middle");
+      Span inner("inner");
+    }
+    Span sibling("sibling");
+  }
+  const std::string json = trace_json();
+  check_json_well_formed(json);
+  const auto events = parse_events(json);
+  ASSERT_EQ(events.size(), 4u);
+  // Spans close inner-first, so completion order is inner, middle,
+  // sibling, outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "middle");
+  EXPECT_EQ(events[2].name, "sibling");
+  EXPECT_EQ(events[3].name, "outer");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 1);
+  EXPECT_EQ(events[3].depth, 0);
+  // Containment: every child interval sits inside its parent's.
+  const ParsedEvent& outer = events[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(events[i].ts_us, outer.ts_us) << events[i].name;
+    EXPECT_LE(events[i].ts_us + events[i].dur_us, outer.ts_us + outer.dur_us)
+        << events[i].name;
+  }
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);  // inner starts inside middle
+  EXPECT_LE(events[0].ts_us + events[0].dur_us, events[1].ts_us + events[1].dur_us);
+}
+
+TEST_F(TelemetryTest, CountersAccumulateAcrossPoolWorkers) {
+  set_enabled(true);
+  constexpr std::size_t kChunks = 64;
+  util::parallel_for(
+      kChunks, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Span span("worker.chunk");
+          count("worker.items");
+          gauge("worker.value", static_cast<double>(i));
+        }
+      },
+      4);
+  const auto rows = metrics_by_name();
+  ASSERT_TRUE(rows.count("worker.items"));
+  EXPECT_EQ(rows.at("worker.items")[3], "64");
+  ASSERT_TRUE(rows.count("worker.value"));
+  EXPECT_EQ(rows.at("worker.value")[2], "64");
+  EXPECT_EQ(rows.at("worker.value")[4], "0");   // min over 0..63
+  EXPECT_EQ(rows.at("worker.value")[5], "63");  // max over 0..63
+  const auto events = parse_events(trace_json());
+  std::size_t spans = 0;
+  for (const ParsedEvent& e : events) {
+    spans += e.name == "worker.chunk" ? 1 : 0;
+  }
+  EXPECT_EQ(spans, kChunks);
+}
+
+TEST_F(TelemetryTest, InstantEventsBumpTheirCounter) {
+  set_enabled(true);
+  instant("checkpoint.pauses");
+  instant("checkpoint.pauses");
+  const auto rows = metrics_by_name();
+  EXPECT_EQ(rows.at("checkpoint.pauses")[3], "2");
+  const auto events = parse_events(trace_json());
+  std::size_t instants = 0;
+  for (const ParsedEvent& e : events) {
+    if (e.ph == "i" && e.name == "checkpoint.pauses") {
+      ++instants;
+    }
+  }
+  EXPECT_EQ(instants, 2u);
+}
+
+TEST_F(TelemetryTest, ThreadLabelsAndDetailAreEscaped) {
+  set_enabled(true);
+  set_thread_label("label \"quoted\"\\back");
+  {
+    Span span("escaping", std::string("line1\nline2\ttab"));
+  }
+  const std::string json = trace_json();
+  check_json_well_formed(json);
+  EXPECT_NE(json.find("label \\\"quoted\\\"\\\\back"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+  set_thread_label("main");
+}
+
+TEST_F(TelemetryTest, ResetClearsAndReseeds) {
+  set_enabled(true);
+  count("ephemeral.counter", 9);
+  {
+    Span span("ephemeral.span");
+  }
+  reset();
+  const auto rows = metrics_by_name();
+  EXPECT_FALSE(rows.count("ephemeral.counter"));
+  ASSERT_TRUE(rows.count("transient.steps"));  // catalog reseeded
+  EXPECT_EQ(rows.at("transient.steps")[3], "0");
+  EXPECT_TRUE(parse_events(trace_json()).empty());
+}
+
+TEST_F(TelemetryTest, WritersMatchInMemoryExports) {
+  set_enabled(true);
+  count("written.counter", 3);
+  {
+    Span span("written.span");
+  }
+  const std::string metrics_path = ::testing::TempDir() + "telemetry_metrics.csv";
+  const std::string trace_path = ::testing::TempDir() + "telemetry_trace.json";
+  write_metrics_csv(metrics_path);
+  write_trace_json(trace_path);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  EXPECT_EQ(slurp(metrics_path), metrics_table().to_csv());
+  EXPECT_EQ(slurp(trace_path), trace_json());
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(TelemetryTest, DisableKeepsCollectedData) {
+  set_enabled(true);
+  count("kept.counter", 5);
+  set_enabled(false);
+  count("kept.counter", 100);  // dropped: recording is off
+  const auto rows = metrics_by_name();
+  ASSERT_TRUE(rows.count("kept.counter"));
+  EXPECT_EQ(rows.at("kept.counter")[3], "5");
+}
+
+}  // namespace
+}  // namespace photherm::telemetry

@@ -21,9 +21,26 @@ function(run_cli)
   endif()
 endfunction()
 
+# Like run_cli, but also requires the stable key=value stats line on
+# stderr — the machine-readable contract scripts grep for.
+function(run_cli_expect_stderr regex)
+  execute_process(COMMAND ${PHOTHERM_CLI} ${ARGN} RESULT_VARIABLE rv ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "photherm_cli ${ARGN} failed with exit code ${rv}")
+  endif()
+  if(NOT err MATCHES "${regex}")
+    message(FATAL_ERROR "photherm_cli ${ARGN}: stderr does not match "
+                        "`${regex}`; got:\n${err}")
+  endif()
+endfunction()
+
+set(play_stats_regex
+    "event=timeline_play scenarios=[0-9]+ steps=[0-9]+ cg_iterations=[0-9]+ settled=[0-9]+ periodic=[0-9]+ paused=[0-9]+")
 set(play_args play builtin:transient --dt 0.2 --periods 5)
-run_cli(${play_args} --threads 1 -o ${WORK_DIR}/serial.csv)
-run_cli(${play_args} --threads 4 -o ${WORK_DIR}/threaded.csv)
+run_cli_expect_stderr("${play_stats_regex}"
+                      ${play_args} --threads 1 -o ${WORK_DIR}/serial.csv)
+run_cli_expect_stderr("${play_stats_regex}"
+                      ${play_args} --threads 4 -o ${WORK_DIR}/threaded.csv)
 
 file(READ ${WORK_DIR}/serial.csv serial_csv)
 file(READ ${WORK_DIR}/threaded.csv threaded_csv)

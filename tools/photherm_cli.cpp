@@ -6,6 +6,7 @@
 ///       Expand a suite to a scenario file (stdout by default). <suite> is
 ///       either a scenario file path or `builtin:<name>`.
 ///   photherm_cli run <suite> [--threads N] [--no-cache] [-o FILE]
+///                    [--trace FILE] [--metrics FILE]
 ///       Run the batch and emit one CSV row per scenario. Output is
 ///       bit-identical across thread counts and with the coarse-solve cache
 ///       on or off; cache statistics go to stderr.
@@ -13,6 +14,7 @@
 ///                     [--until-settle] [--adaptive] [--cold-start]
 ///                     [--summary] [--threads N] [-o FILE]
 ///                     [--pause-after N --checkpoint FILE] [--resume FILE]
+///                     [--trace FILE] [--metrics FILE]
 ///       Transient playback of every scenario's activity schedule (timeline
 ///       engine): emit the time-series CSV (one row per step, probe columns)
 ///       or, with --summary, one settle-report row per scenario. Output is
@@ -23,6 +25,10 @@
 ///       byte-identical to a run that never paused. A warning is printed
 ///       when a schedule's quantized duty drifts from its analytic duty by
 ///       more than the settle tolerance.
+///       --trace writes a Chrome trace-event JSON (open in Perfetto or
+///       chrome://tracing), --metrics a merged metrics CSV; neither perturbs
+///       the scenario CSV, which stays byte-identical to an untraced run
+///       (see README.md "Observability").
 ///   photherm_cli diff <a.csv> <b.csv> [--tol REL]
 ///       Compare two CSV files cell by cell; numeric cells match within the
 ///       relative tolerance (default 0 = exact), text cells exactly.
@@ -44,7 +50,9 @@
 #include "timeline/runner.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/string_util.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -55,16 +63,19 @@ int usage(std::ostream& os, int exit_code) {
         "  list                                     built-in suites and families\n"
         "  expand <suite> [-o FILE]                 expand to a scenario file\n"
         "  run <suite> [--threads N] [--no-cache] [-o FILE]\n"
+        "              [--trace FILE] [--metrics FILE]\n"
         "                                           run the batch, emit CSV\n"
         "  play <suite> [--dt SEC] [--periods N] [--tol DEGC] [--until-settle]\n"
         "               [--adaptive] [--max-period-error REL] [--cold-start]\n"
         "               [--stencil] [--precond NAME] [--summary] [--threads N]\n"
         "               [--pause-after N --checkpoint FILE] [--resume FILE]\n"
-        "               [-o FILE]\n"
+        "               [--trace FILE] [--metrics FILE] [-o FILE]\n"
         "                                           transient playback, emit\n"
         "                                           time-series CSV\n"
         "  diff <a.csv> <b.csv> [--tol REL]         numeric CSV comparison\n"
-        "a <suite> is a scenario file path or builtin:<name> (see `list`).\n";
+        "a <suite> is a scenario file path or builtin:<name> (see `list`).\n"
+        "--trace writes a Chrome trace-event JSON (Perfetto/chrome://tracing),\n"
+        "--metrics a metrics CSV; neither changes the scenario CSV output.\n";
   return exit_code;
 }
 
@@ -124,6 +135,39 @@ CommonArgs parse_common(
   return parsed;
 }
 
+/// --trace/--metrics plumbing shared by run and play: the command's `extra`
+/// handler parses the flags, telemetry turns on before the first solve, and
+/// the collected data is written after the scenario CSV. Telemetry is
+/// write-only — the scenario CSV stays byte-identical either way.
+struct TelemetryArgs {
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
+
+  bool handle(const std::vector<std::string>& args, const std::string& arg, std::size_t& i) {
+    if (arg == "--trace" || arg == "--metrics") {
+      PH_REQUIRE(i + 1 < args.size(), arg + " needs a file path");
+      (arg == "--trace" ? trace_path : metrics_path) = args[++i];
+      return true;
+    }
+    return false;
+  }
+
+  void enable_if_requested() const {
+    if (trace_path || metrics_path) {
+      telemetry::set_enabled(true);
+    }
+  }
+
+  void write_reports() const {
+    if (trace_path) {
+      telemetry::write_trace_json(*trace_path);
+    }
+    if (metrics_path) {
+      telemetry::write_metrics_csv(*metrics_path);
+    }
+  }
+};
+
 int cmd_list() {
   std::cout << "built-in suites (run or expand with builtin:<name>):\n";
   for (const std::string& name : scenario::builtin_suite_names()) {
@@ -148,14 +192,16 @@ int cmd_expand(const std::vector<std::string>& args) {
 
 int cmd_run(const std::vector<std::string>& args) {
   bool no_cache = false;
+  TelemetryArgs telemetry_args;
   const CommonArgs parsed =
-      parse_common(args, "run", [&no_cache](const std::string& arg, std::size_t&) {
+      parse_common(args, "run", [&](const std::string& arg, std::size_t& i) {
         if (arg == "--no-cache") {
           no_cache = true;
           return true;
         }
-        return false;
+        return telemetry_args.handle(args, arg, i);
       });
+  telemetry_args.enable_if_requested();
   const auto scenarios = resolve_suite(parsed.suite);
 
   scenario::BatchOptions options;
@@ -164,9 +210,10 @@ int cmd_run(const std::vector<std::string>& args) {
   const scenario::BatchResult result = scenario::BatchRunner(options).run(scenarios);
 
   write_output(parsed.out_path, scenario::batch_table(scenarios, result).to_csv());
-  std::cerr << "ran " << result.stats.scenario_count << " scenarios: "
-            << result.stats.global_solves << " coarse global solves, "
-            << result.stats.cache_hits << " cache hits\n";
+  telemetry_args.write_reports();
+  PH_LOG_INFO << "event=batch_run scenarios=" << result.stats.scenario_count
+              << " global_solves=" << result.stats.global_solves
+              << " cache_hits=" << result.stats.cache_hits;
   return 0;
 }
 
@@ -178,10 +225,14 @@ int cmd_play(const std::vector<std::string>& args) {
   std::optional<std::string> checkpoint_path;
   std::optional<std::string> resume_path;
   bool explicit_precond = false;
+  TelemetryArgs telemetry_args;
   timeline::PlaybackOptions playback;
 
   const CommonArgs parsed =
       parse_common(args, "play", [&](const std::string& arg, std::size_t& i) {
+        if (telemetry_args.handle(args, arg, i)) {
+          return true;
+        }
         const auto value = [&](const char* what) -> const std::string& {
           PH_REQUIRE(i + 1 < args.size(), std::string(what) + " needs a value");
           return args[++i];
@@ -230,6 +281,7 @@ int cmd_play(const std::vector<std::string>& args) {
   if (playback.operator_kind == thermal::OperatorKind::kStencil && !explicit_precond) {
     playback.solver.preconditioner = math::PreconditionerKind::kChebyshev;
   }
+  telemetry_args.enable_if_requested();
 
   // Fixed-horizon by default (stop_on_settle off, 40 periods) so the CSV
   // shape is schedule-determined — what the golden smoke test pins down.
@@ -306,10 +358,13 @@ int cmd_play(const std::vector<std::string>& args) {
   const Table table =
       summary ? timeline::timeline_summary_table(result) : timeline::timeline_table(result);
   write_output(parsed.out_path, table.to_csv());
-  std::cerr << "played " << result.stats.scenario_count << " scenarios: "
-            << result.stats.total_steps << " steps, " << result.stats.total_cg_iterations
-            << " CG iterations, " << result.stats.settled_count << " settled, "
-            << result.stats.periodic_count << " periodic\n";
+  telemetry_args.write_reports();
+  PH_LOG_INFO << "event=timeline_play scenarios=" << result.stats.scenario_count
+              << " steps=" << result.stats.total_steps
+              << " cg_iterations=" << result.stats.total_cg_iterations
+              << " settled=" << result.stats.settled_count
+              << " periodic=" << result.stats.periodic_count
+              << " paused=" << result.stats.paused_count;
   return 0;
 }
 
@@ -394,6 +449,9 @@ int cmd_diff(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The run/play stats lines are kInfo (the library default is kWarn so
+  // tests stay quiet); the CLI is the interactive surface, so show them.
+  photherm::set_log_level(photherm::LogLevel::kInfo);
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty() || args[0] == "-h" || args[0] == "--help" || args[0] == "help") {
     return usage(args.empty() ? std::cerr : std::cout, args.empty() ? 2 : 0);
