@@ -237,4 +237,22 @@ BENCHMARK(BM_RepeatedWarmSolve)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the JSON context carries the build type of
+// *this* binary. gbench's own `library_build_type` key describes how the
+// benchmark library was compiled, which says nothing about our optimisation
+// flags; photherm_report's diff prefers photherm_build_type when refusing
+// debug-vs-release comparisons.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("photherm_build_type", "release");
+#else
+  benchmark::AddCustomContext("photherm_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -112,9 +112,17 @@ int main(int argc, char** argv) {
   const Run adaptive_run = play(soak, adaptive);
 
   if (json) {
+    // photherm_build_type is the build type of *this* binary (what
+    // photherm_report's diff uses to refuse debug-vs-release comparisons),
+    // as opposed to gbench's library_build_type which reports the library's
+    // own build.
     std::cout << "{\n  \"context\": {\n"
               << "    \"executable\": \"bench_timeline_playback\",\n"
-              << "    \"library_build_type\": \"release\"\n"
+#ifdef NDEBUG
+              << "    \"photherm_build_type\": \"release\"\n"
+#else
+              << "    \"photherm_build_type\": \"debug\"\n"
+#endif
               << "  },\n  \"benchmarks\": [\n";
     emit_json_benchmark(std::cout, "timeline_playback/transient_warm_start", warm, false);
     emit_json_benchmark(std::cout, "timeline_playback/transient_cold_start", cold, false);

@@ -75,7 +75,7 @@ SolverResult conjugate_gradient(const LinearOperator& a, const Vector& b, Vector
   const double norm_b = norm2(b, threads);
   if (norm_b == 0.0) {
     x.assign(n, 0.0);
-    return {true, 0, 0.0, 0.0};
+    return {true, 0, 0.0, 0.0, {}};
   }
 
   Vector r;
@@ -89,9 +89,17 @@ SolverResult conjugate_gradient(const LinearOperator& a, const Vector& b, Vector
   Vector ap(n);
   double rz = dot(r, z, threads);
 
+  std::vector<double> history;
   std::size_t it = 0;
   for (; it < options.max_iterations; ++it) {
-    if (norm2(r, threads) / norm_b <= options.rel_tolerance) {
+    // The iteration's own stopping check; record_convergence captures
+    // exactly this value, so the history costs no extra norm.
+    const double rel = norm2(r, threads) / norm_b;
+    if (options.record_convergence) {
+      history.push_back(rel);
+      telemetry::counter("solver.conjugate_gradient.residual", rel, it);
+    }
+    if (rel <= options.rel_tolerance) {
       break;
     }
     a.apply(p, ap, threads);
@@ -106,7 +114,9 @@ SolverResult conjugate_gradient(const LinearOperator& a, const Vector& b, Vector
     rz = rz_next;
     xpby(z, beta, p, threads);
   }
-  return finalize(a, b, x, it, norm_b, options, "conjugate_gradient");
+  SolverResult result = finalize(a, b, x, it, norm_b, options, "conjugate_gradient");
+  result.convergence = std::move(history);
+  return result;
 }
 
 SolverResult conjugate_gradient(const LinearOperator& a, const Vector& b, Vector& x,
@@ -127,7 +137,7 @@ SolverResult bicgstab(const LinearOperator& a, const Vector& b, Vector& x,
   const double norm_b = norm2(b, threads);
   if (norm_b == 0.0) {
     x.assign(n, 0.0);
-    return {true, 0, 0.0, 0.0};
+    return {true, 0, 0.0, 0.0, {}};
   }
 
   Vector r;
@@ -139,9 +149,15 @@ SolverResult bicgstab(const LinearOperator& a, const Vector& b, Vector& x,
   Vector p(n, 0.0), v(n, 0.0), s(n), t(n), y(n), z(n);
   double rho = 1.0, alpha = 1.0, omega = 1.0;
 
+  std::vector<double> history;
   std::size_t it = 0;
   for (; it < options.max_iterations; ++it) {
-    if (norm2(r, threads) / norm_b <= options.rel_tolerance) {
+    const double rel = norm2(r, threads) / norm_b;
+    if (options.record_convergence) {
+      history.push_back(rel);
+      telemetry::counter("solver.bicgstab.residual", rel, it);
+    }
+    if (rel <= options.rel_tolerance) {
       break;
     }
     const double rho_next = dot(r0, r, threads);
@@ -181,7 +197,9 @@ SolverResult bicgstab(const LinearOperator& a, const Vector& b, Vector& x,
       break;
     }
   }
-  return finalize(a, b, x, it, norm_b, options, "bicgstab");
+  SolverResult result = finalize(a, b, x, it, norm_b, options, "bicgstab");
+  result.convergence = std::move(history);
+  return result;
 }
 
 SolverResult bicgstab(const LinearOperator& a, const Vector& b, Vector& x,
@@ -204,7 +222,7 @@ SolverResult gauss_seidel(const CsrMatrix& a, const Vector& b, Vector& x,
   const double norm_b = norm2(b, threads);
   if (norm_b == 0.0) {
     x.assign(n, 0.0);
-    return {true, 0, 0.0, 0.0};
+    return {true, 0, 0.0, 0.0, {}};
   }
 
   std::size_t it = 0;

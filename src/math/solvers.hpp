@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "math/csr_matrix.hpp"
 #include "math/preconditioner.hpp"
@@ -30,6 +31,16 @@ struct SolverOptions {
   /// 0 = util::concurrency(); 1 = serial. Results are bit-identical for
   /// every value (see thread_pool.hpp).
   std::size_t threads = 0;
+  /// Capture the per-iteration recursive relative residual (||r|| / ||b||
+  /// at the top of each CG/BiCGSTAB iteration, including the final accepted
+  /// check) into SolverResult::convergence, and — when telemetry is
+  /// recording — emit each sample as a plottable trace counter event
+  /// (`solver.<name>.residual`). Off by default: the history allocates per
+  /// solve, and nothing on the hot path should pay for observability it
+  /// did not ask for. The captured values are the norms the iteration
+  /// already computes, so enabling this never perturbs the solve
+  /// (bit-identical results, any thread count).
+  bool record_convergence = false;
 };
 
 struct SolverResult {
@@ -37,6 +48,11 @@ struct SolverResult {
   std::size_t iterations = 0;
   double residual_norm = 0.0;    ///< final ||b - A x||
   double relative_residual = 0.0;
+  /// Per-iteration recursive relative residuals, captured only when
+  /// SolverOptions::record_convergence is set (empty otherwise). Entry k is
+  /// the residual entering iteration k; when the solve converges via the
+  /// iteration check, the last entry is the accepted residual.
+  std::vector<double> convergence;
 };
 
 /// Warm-start contract shared by every solver below: `x` is used as the

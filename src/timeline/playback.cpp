@@ -416,6 +416,15 @@ void Playback::step_once() {
   }
   update_periodic(field.temperatures());
 
+  // Soak heartbeat: a stable key=value stderr line every N steps (see
+  // PlaybackOptions::progress_every). Logging only — never the trace, never
+  // the physics.
+  if (options_.progress_every != 0 && trace_.step_count() % options_.progress_every == 0) {
+    PH_LOG_INFO << "event=playback_progress scenario=" << trace_.scenario
+                << " step=" << trace_.step_count() << " time=" << solver_->time()
+                << " dt=" << dt_ << " max_delta=" << trace_.final_delta;
+  }
+
   step_in_period_ += 1;
   if (step_in_period_ == spp) {
     step_in_period_ = 0;

@@ -111,6 +111,13 @@ struct PlaybackOptions {
   /// adaptive growth must respect when re-quantizing a multi-scale
   /// schedule onto a coarser grid.
   double max_period_error = kDefaultMaxPeriodError;
+
+  /// Heartbeat for long soaks: every N steps, log one stable
+  /// `event=playback_progress` key=value line (scenario, step, sim time,
+  /// dt, max delta vs the steady reference) at info level via util::log.
+  /// 0 (the default) disables the heartbeat; it never touches the trace or
+  /// the physics (`photherm_cli play --progress N`).
+  std::size_t progress_every = 0;
 };
 
 /// Time series of one playback, index-aligned across its vectors: entry k

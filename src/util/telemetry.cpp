@@ -1,7 +1,9 @@
 #include "util/telemetry.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -12,6 +14,23 @@
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
+// Build provenance for the run manifest. CMake scopes real values onto this
+// one translation unit (set_source_files_properties in the top-level
+// CMakeLists.txt); the fallbacks keep standalone builds compiling.
+#ifndef PHOTHERM_GIT_SHA
+#define PHOTHERM_GIT_SHA "unknown"
+#endif
+#ifndef PHOTHERM_BUILD_TYPE
+#ifdef NDEBUG
+#define PHOTHERM_BUILD_TYPE "release"
+#else
+#define PHOTHERM_BUILD_TYPE "debug"
+#endif
+#endif
+#ifndef PHOTHERM_SANITIZE_NAME
+#define PHOTHERM_SANITIZE_NAME "none"
+#endif
+
 namespace photherm::telemetry {
 
 namespace detail {
@@ -19,6 +38,24 @@ std::atomic<bool> g_enabled{false};
 }  // namespace detail
 
 namespace {
+
+/// Fixed bucket count of the per-timer log2 histogram: bucket b holds
+/// observations whose nanosecond value has bit width b (i.e. the interval
+/// [2^(b-1), 2^b - 1]; bucket 0 holds exact zeros), clamped at the top so
+/// 64-bit values always land somewhere. Bucket counts merge across threads
+/// by summation, so the merged histogram — and every percentile derived
+/// from it — is deterministic for a deterministic observation multiset.
+constexpr std::size_t kTimerBuckets = 64;
+
+std::size_t bucket_index(std::uint64_t elapsed_ns) {
+  return std::min<std::size_t>(std::bit_width(elapsed_ns), kTimerBuckets - 1);
+}
+
+/// Inclusive upper bound of bucket `b` in nanoseconds: the value every
+/// percentile reports, making the exported columns exact small integers.
+double bucket_upper_bound(std::size_t b) {
+  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+}
 
 /// One metric's thread-local accumulation. Counters and timers keep their
 /// totals in integers (no precision loss at any count); gauges accumulate
@@ -32,6 +69,16 @@ struct MetricCell {
   double total_real = 0.0;      ///< gauge sum
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  /// log2 histogram of timer observations; sized lazily on the first timer
+  /// observation so counter/gauge cells stay small.
+  std::vector<std::uint64_t> buckets;
+
+  void observe_duration(std::uint64_t elapsed_ns) {
+    if (buckets.empty()) {
+      buckets.resize(kTimerBuckets, 0);
+    }
+    buckets[bucket_index(elapsed_ns)] += 1;
+  }
 
   void merge(const MetricCell& other) {
     observations += other.observations;
@@ -39,15 +86,42 @@ struct MetricCell {
     total_real += other.total_real;
     min = std::min(min, other.min);
     max = std::max(max, other.max);
+    if (!other.buckets.empty()) {
+      if (buckets.empty()) {
+        buckets.resize(kTimerBuckets, 0);
+      }
+      for (std::size_t b = 0; b < kTimerBuckets; ++b) {
+        buckets[b] += other.buckets[b];
+      }
+    }
+  }
+
+  /// Upper bound of the bucket holding the q-quantile observation
+  /// (0 < q <= 1), by cumulative walk over the merged histogram.
+  double percentile(double q) const {
+    const std::uint64_t rank =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       std::ceil(q * static_cast<double>(observations))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      cumulative += buckets[b];
+      if (cumulative >= rank) {
+        return bucket_upper_bound(b);
+      }
+    }
+    return bucket_upper_bound(kTimerBuckets - 1);
   }
 };
 
 struct TraceEvent {
+  char ph = 'X';  ///< 'X' complete span, 'i' instant, 'C' counter sample
   std::string name;
   std::string detail;
   std::int64_t ts_ns = 0;
-  std::int64_t dur_ns = -1;  ///< -1 = instant event
-  std::uint32_t depth = 0;
+  std::int64_t dur_ns = 0;        ///< 'X' only
+  std::uint32_t depth = 0;        ///< 'X' only
+  double value = 0.0;             ///< 'C' only
+  std::uint64_t index = 0;        ///< 'C' only (e.g. solver iteration)
 };
 
 /// Everything one thread records. The owning thread appends under its own
@@ -70,6 +144,9 @@ struct Registry {
   /// Registration order; states outlive their threads (shared_ptr also held
   /// thread-locally), so a pool destroyed mid-run loses no data.
   std::vector<std::shared_ptr<ThreadState>> states;
+  /// Runtime manifest entries (set_manifest); merged over the build-time
+  /// constants at export time. std::map keeps the export key-ordered.
+  std::map<std::string, std::string> manifest;
 };
 
 Registry& registry() {
@@ -198,6 +275,30 @@ std::string json_escape(const std::string& s) {
   return os.str();
 }
 
+/// Compiler identity for the build-time manifest entries, from predefined
+/// macros so it always matches the binary doing the recording.
+const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Build-time manifest constants; runtime entries from set_manifest overlay
+/// these at export time.
+const std::map<std::string, std::string>& builtin_manifest() {
+  static const std::map<std::string, std::string> entries = {
+      {"build_type", PHOTHERM_BUILD_TYPE},
+      {"compiler", compiler_id()},
+      {"git_sha", PHOTHERM_GIT_SHA},
+      {"sanitizer", PHOTHERM_SANITIZE_NAME},
+  };
+  return entries;
+}
+
 /// Trace timestamps are Chrome-format microseconds; format_shortest keeps
 /// them exact (integer nanoseconds / 1000 is exact in double far beyond any
 /// session length) without the lint-banned setprecision machinery.
@@ -251,6 +352,7 @@ void timer_slow(const std::string& name, std::uint64_t elapsed_ns) {
   c.total_int += elapsed_ns;
   c.min = std::min(c.min, static_cast<double>(elapsed_ns));
   c.max = std::max(c.max, static_cast<double>(elapsed_ns));
+  c.observe_duration(elapsed_ns);
 }
 
 void instant_slow(const std::string& name) {
@@ -261,10 +363,23 @@ void instant_slow(const std::string& name) {
   c.observations += 1;
   c.total_int += 1;
   TraceEvent event;
+  event.ph = 'i';
   event.name = name;
   event.ts_ns = now;
-  event.dur_ns = -1;
   event.depth = state.span_depth;
+  state.events.push_back(std::move(event));
+}
+
+void counter_slow(const char* name, double value, std::uint64_t index) {
+  const std::int64_t now = now_ns();
+  ThreadState& state = thread_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  TraceEvent event;
+  event.ph = 'C';
+  event.name = name;
+  event.ts_ns = now;
+  event.value = value;
+  event.index = index;
   state.events.push_back(std::move(event));
 }
 
@@ -290,6 +405,7 @@ void reset() {
       state->events.clear();
       state->span_depth = 0;
     }
+    reg.manifest.clear();
   }
   if (enabled()) {
     // Keep the stable CSV shape for the next measurement window.
@@ -301,6 +417,24 @@ void set_thread_label(const std::string& label) {
   ThreadState& state = thread_state();
   std::lock_guard<std::mutex> lock(state.mutex);
   state.label = label;
+}
+
+void set_manifest(const std::string& key, const std::string& value) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.manifest[key] = value;
+}
+
+std::vector<std::pair<std::string, std::string>> manifest() {
+  std::map<std::string, std::string> merged = builtin_manifest();
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& [key, value] : reg.manifest) {
+      merged[key] = value;
+    }
+  }
+  return {merged.begin(), merged.end()};
 }
 
 void Span::begin(const char* name, std::string detail_text) {
@@ -351,7 +485,7 @@ Table metrics_table() {
     }
   }
 
-  Table table({"metric", "kind", "count", "total", "min", "max"});
+  Table table({"metric", "kind", "count", "total", "min", "max", "p50", "p90", "p99"});
   table.set_exact();
   for (const auto& [name, c] : merged) {
     std::vector<TableCell> row{name, std::string(kind_name(c.kind)),
@@ -364,14 +498,42 @@ Table metrics_table() {
       row.emplace_back(std::string());
       row.emplace_back(std::string());
     }
+    if (c.kind == 't' && c.observations > 0 && !c.buckets.empty()) {
+      row.emplace_back(c.percentile(0.50));
+      row.emplace_back(c.percentile(0.90));
+      row.emplace_back(c.percentile(0.99));
+    } else {
+      row.emplace_back(std::string());
+      row.emplace_back(std::string());
+      row.emplace_back(std::string());
+    }
     table.add_row(std::move(row));
   }
   return table;
 }
 
+std::string metrics_csv() {
+  std::ostringstream os;
+  os << "# photherm-manifest v1\n";
+  for (const auto& [key, value] : manifest()) {
+    os << "# " << key << "=" << value << "\n";
+  }
+  os << metrics_table().to_csv();
+  return os.str();
+}
+
 std::string trace_json() {
   std::ostringstream os;
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"displayTimeUnit\":\"ms\",\"manifest\":{";
+  {
+    bool first_entry = true;
+    for (const auto& [key, value] : manifest()) {
+      os << (first_entry ? "" : ",") << "\"" << json_escape(key) << "\":\"" << json_escape(value)
+         << "\"";
+      first_entry = false;
+    }
+  }
+  os << "},\"traceEvents\":[";
   bool first = true;
   const auto emit = [&](const std::string& event_json) {
     os << (first ? "\n " : ",\n ") << event_json;
@@ -392,9 +554,14 @@ std::string trace_json() {
     }
     for (const TraceEvent& e : state->events) {
       std::ostringstream event;
-      if (e.dur_ns < 0) {
+      if (e.ph == 'i') {
         event << "{\"ph\":\"i\",\"name\":\"" << json_escape(e.name) << "\",\"pid\":1,\"tid\":"
               << state->tid << ",\"ts\":" << format_us(e.ts_ns) << ",\"s\":\"t\"}";
+      } else if (e.ph == 'C') {
+        event << "{\"ph\":\"C\",\"name\":\"" << json_escape(e.name) << "\",\"pid\":1,\"tid\":"
+              << state->tid << ",\"ts\":" << format_us(e.ts_ns)
+              << ",\"args\":{\"value\":" << format_shortest(e.value)
+              << ",\"iteration\":" << e.index << "}}";
       } else {
         event << "{\"ph\":\"X\",\"name\":\"" << json_escape(e.name) << "\",\"pid\":1,\"tid\":"
               << state->tid << ",\"ts\":" << format_us(e.ts_ns)
@@ -411,7 +578,7 @@ std::string trace_json() {
   return os.str();
 }
 
-void write_metrics_csv(const std::string& path) { write_text_file(path, metrics_table().to_csv()); }
+void write_metrics_csv(const std::string& path) { write_text_file(path, metrics_csv()); }
 
 void write_trace_json(const std::string& path) { write_text_file(path, trace_json()); }
 

@@ -51,6 +51,7 @@ void count_slow(const std::string& name, std::uint64_t delta);
 void gauge_slow(const std::string& name, double value);
 void timer_slow(const std::string& name, std::uint64_t elapsed_ns);
 void instant_slow(const std::string& name);
+void counter_slow(const char* name, double value, std::uint64_t index);
 
 /// Monotonic nanoseconds since an arbitrary process-local epoch. Only
 /// meaningful as differences; only ever called with telemetry enabled.
@@ -106,6 +107,18 @@ inline void timer_add(const std::string& name, std::uint64_t elapsed_ns) {
 inline void instant(const char* name) {
   if (enabled()) {
     detail::instant_slow(name);
+  }
+}
+
+/// Plottable sample in the trace (a Chrome "C" counter event): `value` at
+/// the current timestamp with an ordinal `index` in the event args. The
+/// solvers emit one per Krylov iteration when SolverOptions::
+/// record_convergence is on, so a residual history renders as a counter
+/// track in Perfetto and `photherm_report convergence` can rebuild the
+/// per-solve series. No metric cell is touched. No-op while disabled.
+inline void counter(const char* name, double value, std::uint64_t index = 0) {
+  if (enabled()) {
+    detail::counter_slow(name, value, index);
   }
 }
 
@@ -190,21 +203,47 @@ class ScopedTimer {
 /// Documented in README.md ("Observability"); append-only by convention.
 const std::vector<std::pair<std::string, std::string>>& metric_catalog();
 
+/// Attach a provenance entry to every subsequent export (the run manifest):
+/// suite name, scenario count, thread count, command line — anything that
+/// makes two artifacts comparable months apart. Merged over the build-time
+/// entries (git_sha, build_type, compiler, sanitizer — compiled into
+/// telemetry.cpp), runtime keys winning on collision; exported in sorted
+/// key order as `# key=value` comment lines in the metrics CSV and a
+/// top-level "manifest" object in the trace JSON. reset() clears the
+/// runtime entries (the build-time ones are constants).
+void set_manifest(const std::string& key, const std::string& value);
+
+/// The merged manifest (build-time entries + set_manifest overrides),
+/// sorted by key.
+std::vector<std::pair<std::string, std::string>> manifest();
+
 /// Merged metrics as an exact-mode util::csv Table, rows in deterministic
 /// (lexicographic) metric-name order. Columns: metric, kind, count, total,
-/// min, max — `count` is the number of observations (counters: increments),
-/// `total` the accumulated value (counters: sum of deltas; timers:
-/// nanoseconds); min/max are per-observation extremes (empty for counters).
+/// min, max, p50, p90, p99 — `count` is the number of observations
+/// (counters: increments), `total` the accumulated value (counters: sum of
+/// deltas; timers: nanoseconds); min/max are per-observation extremes
+/// (empty for counters). Timers additionally carry percentile estimates
+/// from a fixed 64-bucket log2 histogram of observed nanoseconds: each
+/// percentile reports the inclusive upper bound (2^b - 1 ns) of the bucket
+/// holding that rank, so the columns are deterministic for a deterministic
+/// observation multiset, merge order and thread count notwithstanding.
+/// Empty for counters, gauges, and zero-observation timers.
 Table metrics_table();
 
+/// The full metrics CSV payload: the manifest comment block
+/// (`# photherm-manifest v1` + `# key=value` lines) followed by
+/// metrics_table().to_csv().
+std::string metrics_csv();
+
 /// Chrome trace-event JSON ("traceEvents" array of complete/instant/
-/// metadata events, microsecond timestamps) — open in Perfetto
+/// counter/metadata events, microsecond timestamps, plus the run manifest
+/// as a top-level "manifest" object) — open in Perfetto
 /// (https://ui.perfetto.dev) or chrome://tracing. Valid JSON even when
 /// nothing was recorded.
 std::string trace_json();
 
-/// Write metrics_table().to_csv() / trace_json() to `path`; throws
-/// photherm::Error on I/O failure.
+/// Write metrics_csv() / trace_json() to `path`; throws photherm::Error on
+/// I/O failure.
 void write_metrics_csv(const std::string& path);
 void write_trace_json(const std::string& path);
 

@@ -1,0 +1,105 @@
+# CTest smoke run of the photherm_report analysis tool over real
+# photherm_cli artifacts, invoked as
+#   cmake -DPHOTHERM_CLI=... -DPHOTHERM_REPORT=... -DRULES=... -DWORK_DIR=...
+#         -P report_smoke.cmake
+# Flow:
+#   1. play the builtin transient suite with --metrics at 1 and 4 threads;
+#      `photherm_report diff --gate` across the two runs must exit 0 with
+#      zero regressions — the deterministic counters are thread-count
+#      invariant (the zero-delta acceptance criterion).
+#   2. doctor the candidate (inflate the CG iteration total) — the gate
+#      must fire: non-zero exit and a REGRESS verdict.
+#   3. record a --convergence --trace run (output must stay byte-identical
+#      to the unrecorded run) and rebuild the per-solve residual CSV.
+#   4. summarize must render both artifact kinds.
+
+foreach(var PHOTHERM_CLI PHOTHERM_REPORT RULES WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "report_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_cli)
+  execute_process(COMMAND ${PHOTHERM_CLI} ${ARGN} RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "photherm_cli ${ARGN} failed with exit code ${rv}")
+  endif()
+endfunction()
+
+# Run photherm_report expecting a specific exit code; stdout is returned in
+# `out_var` for shape assertions.
+function(run_report expect_rv out_var)
+  execute_process(COMMAND ${PHOTHERM_REPORT} ${ARGN}
+                  RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rv EQUAL ${expect_rv})
+    message(FATAL_ERROR "photherm_report ${ARGN}: expected exit ${expect_rv}, "
+                        "got ${rv}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+set(play_args play builtin:transient --dt 0.2 --periods 5)
+run_cli(${play_args} --threads 1 -o ${WORK_DIR}/out1.csv
+        --metrics ${WORK_DIR}/metrics1.csv)
+run_cli(${play_args} --threads 4 -o ${WORK_DIR}/out4.csv
+        --metrics ${WORK_DIR}/metrics4.csv)
+
+# 1. Zero-delta acceptance: same suite at different thread counts gates
+# clean — every deterministic counter identical, wall drift at most warned.
+run_report(0 clean_out
+           diff ${WORK_DIR}/metrics1.csv ${WORK_DIR}/metrics4.csv --gate ${RULES})
+if(NOT clean_out MATCHES "0 regressions")
+  message(FATAL_ERROR "cross-thread diff should report zero regressions; "
+                      "got:\n${clean_out}")
+endif()
+
+# 2. Doctored candidate: inflating the CG iteration total must trip the
+# exact gate on solver.*.iterations.
+file(READ ${WORK_DIR}/metrics4.csv doctored)
+string(REGEX REPLACE
+       "solver\\.conjugate_gradient\\.iterations,counter,([0-9]+),([0-9]+)"
+       "solver.conjugate_gradient.iterations,counter,\\1,9\\2"
+       doctored "${doctored}")
+file(WRITE ${WORK_DIR}/doctored.csv "${doctored}")
+run_report(1 fired_out
+           diff ${WORK_DIR}/metrics1.csv ${WORK_DIR}/doctored.csv --gate ${RULES})
+if(NOT fired_out MATCHES "REGRESS")
+  message(FATAL_ERROR "doctored diff should carry a REGRESS verdict; "
+                      "got:\n${fired_out}")
+endif()
+
+# 3. Convergence capture: recording reuses the iteration's own stopping
+# check, so the physics output stays byte-identical; the report rebuilds
+# the per-solve residual series from the trace's counter events.
+run_cli(${play_args} --threads 1 --convergence -o ${WORK_DIR}/conv_out.csv
+        --trace ${WORK_DIR}/conv_trace.json)
+file(READ ${WORK_DIR}/out1.csv plain_csv)
+file(READ ${WORK_DIR}/conv_out.csv conv_csv)
+if(NOT plain_csv STREQUAL conv_csv)
+  message(FATAL_ERROR "--convergence changed the playback output")
+endif()
+run_report(0 conv_report
+           convergence ${WORK_DIR}/conv_trace.json -o ${WORK_DIR}/convergence.csv)
+file(READ ${WORK_DIR}/convergence.csv convergence_csv)
+if(NOT convergence_csv MATCHES "solver,tid,solve,iteration,residual")
+  message(FATAL_ERROR "convergence CSV is missing its header")
+endif()
+if(NOT convergence_csv MATCHES "solver\\.conjugate_gradient\\.residual,[0-9]+,0,0,1\n")
+  message(FATAL_ERROR "convergence CSV should open each track with the "
+                      "iteration-0 relative residual of exactly 1")
+endif()
+
+# 4. summarize renders both artifact kinds.
+run_report(0 sum_metrics summarize ${WORK_DIR}/metrics1.csv)
+if(NOT sum_metrics MATCHES "timers by total wall")
+  message(FATAL_ERROR "metrics summary is missing the timer table")
+endif()
+if(NOT sum_metrics MATCHES "iters/solve")
+  message(FATAL_ERROR "metrics summary is missing the derived solver economics")
+endif()
+run_report(0 sum_trace summarize ${WORK_DIR}/conv_trace.json)
+if(NOT sum_trace MATCHES "spans by total wall")
+  message(FATAL_ERROR "trace summary is missing the span roll-up")
+endif()

@@ -59,12 +59,30 @@ require_match(${WORK_DIR}/trace4.json "pool-worker-[0-9]+" "labeled pool workers
 require_match(${WORK_DIR}/trace4.json
               "\"ph\":\"X\",\"name\":\"playback\\.scenario\"" "per-scenario spans")
 
+# Both export formats must carry the run manifest: the CSV as a
+# `# key=value` comment block, the trace as a top-level "manifest" object.
+require_match(${WORK_DIR}/trace1.json "\"manifest\":{" "a trace manifest object")
+require_match(${WORK_DIR}/trace1.json "\"build_type\":\"(debug|release)\""
+              "the build type in the trace manifest")
+require_match(${WORK_DIR}/trace1.json "\"git_sha\":" "the git sha in the trace manifest")
+require_match(${WORK_DIR}/trace4.json "\"threads\":\"4\"" "the runtime thread count")
+
 # Metrics shape: the acceptance-criteria rows. Cache-hit rows are seeded
 # (play never touches BatchRunner), solver iterations and per-scenario wall
-# time must be live non-zero counts.
+# time must be live non-zero counts. Timers now carry log2-histogram
+# percentiles (integer nanosecond bucket bounds).
 foreach(metrics metrics1 metrics4)
-  require_match(${WORK_DIR}/${metrics}.csv "metric,kind,count,total,min,max"
+  require_match(${WORK_DIR}/${metrics}.csv "# photherm-manifest v1"
+                "the manifest comment block")
+  require_match(${WORK_DIR}/${metrics}.csv "# build_type=(debug|release)"
+                "the build type manifest entry")
+  require_match(${WORK_DIR}/${metrics}.csv "# suite=builtin:transient"
+                "the suite manifest entry")
+  require_match(${WORK_DIR}/${metrics}.csv "metric,kind,count,total,min,max,p50,p90,p99"
                 "the metrics header")
+  require_match(${WORK_DIR}/${metrics}.csv
+                "playback\\.scenario\\.wall,timer,[1-9][0-9]*,[1-9][0-9]*,[0-9]+,[0-9]+,[0-9]+,[0-9]+,[0-9]+"
+                "timer percentiles")
   require_match(${WORK_DIR}/${metrics}.csv
                 "solver\\.conjugate_gradient\\.iterations,counter,[1-9][0-9]*,[1-9][0-9]*"
                 "non-zero CG iteration counts")

@@ -369,6 +369,68 @@ CsrMatrix diagonal_matrix(std::size_t n, std::size_t bad_row, double bad_value) 
 /// The guard must fire at construction and name the offending row — a zero
 /// diagonal otherwise divides to inf and surfaces much later as a cryptic
 /// CG non-convergence.
+TEST(Solvers, ConvergenceHistoryIsOffByDefaultAndDeterministic) {
+  const std::size_t n = 200;
+  const CsrMatrix a = laplacian(n);
+  Vector x_true(n);
+  Rng rng(7);
+  for (double& v : x_true) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const Vector b = a.multiply(x_true);
+
+  // Off by default: no history, no allocation.
+  Vector x_plain;
+  SolverOptions plain;
+  const SolverResult without = conjugate_gradient(a, b, x_plain, plain);
+  EXPECT_TRUE(without.convergence.empty());
+
+  // Recording captures exactly the per-iteration stopping check: one entry
+  // per iteration entered, monotone start, final entry at or under the
+  // tolerance, and the solution bit-identical to the unrecorded solve.
+  Vector x1;
+  SolverOptions record;
+  record.record_convergence = true;
+  record.threads = 1;
+  const SolverResult serial = conjugate_gradient(a, b, x1, record);
+  ASSERT_TRUE(serial.converged);
+  ASSERT_FALSE(serial.convergence.empty());
+  EXPECT_EQ(serial.convergence.size(), serial.iterations + 1);
+  EXPECT_DOUBLE_EQ(serial.convergence.front(), 1.0);  // r0 = b with x0 = 0
+  EXPECT_LE(serial.convergence.back(), record.rel_tolerance);
+  for (std::size_t i = 0; i < x_plain.size(); ++i) {
+    ASSERT_EQ(x_plain[i], x1[i]) << i;
+  }
+
+  // The history is part of the determinism contract: 1 vs 4 threads must
+  // produce bit-identical residual sequences.
+  Vector x4;
+  record.threads = 4;
+  const SolverResult threaded = conjugate_gradient(a, b, x4, record);
+  ASSERT_EQ(serial.convergence.size(), threaded.convergence.size());
+  for (std::size_t i = 0; i < serial.convergence.size(); ++i) {
+    ASSERT_EQ(serial.convergence[i], threaded.convergence[i]) << "iteration " << i;
+  }
+}
+
+TEST(Solvers, BicgstabRecordsConvergenceToo) {
+  const std::size_t n = 120;
+  const CsrMatrix a = nonsymmetric(n);
+  const Vector b(n, 1.0);
+  Vector x;
+  SolverOptions options;
+  options.record_convergence = true;
+  // Unpreconditioned so the solve takes several iterations (with ILU(0)
+  // this system converges via the mid-iteration s-norm exit on the first
+  // pass, leaving only the iteration-0 entry).
+  options.preconditioner = PreconditionerKind::kIdentity;
+  const SolverResult result = bicgstab(a, b, x, options);
+  ASSERT_TRUE(result.converged);
+  ASSERT_GE(result.convergence.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.convergence.front(), 1.0);
+  EXPECT_GT(result.convergence.front(), result.convergence.back());
+}
+
 TEST(PreconditionerGuards, JacobiNamesNonPositiveDiagonalRow) {
   const CsrMatrix a = diagonal_matrix(6, 3, 0.0);
   try {

@@ -134,7 +134,7 @@ std::map<std::string, std::vector<std::string>> metrics_by_name() {
     while (std::getline(cells_in, cell, ',')) {
       cells.push_back(cell);
     }
-    cells.resize(6);  // empty trailing min/max cells
+    cells.resize(9);  // empty trailing min/max/percentile cells
     rows[cells[0]] = cells;
   }
   return rows;
@@ -180,11 +180,14 @@ TEST_F(TelemetryTest, MetricsCsvGolden) {
   const std::string csv = metrics_table().to_csv();
   // The golden pins the exact-mode serialization contract: header shape,
   // lexicographic row order, counters with empty min/max, gauges carrying
-  // per-observation extremes, timers in integer nanoseconds.
-  EXPECT_NE(csv.find("metric,kind,count,total,min,max\n"), std::string::npos);
-  EXPECT_NE(csv.find("golden.counter,counter,2,5,,\n"), std::string::npos);
-  EXPECT_NE(csv.find("golden.gauge,gauge,2,1.25,-1.25,2.5\n"), std::string::npos);
-  EXPECT_NE(csv.find("golden.timer,timer,2,100,40,60\n"), std::string::npos);
+  // per-observation extremes, timers in integer nanoseconds with
+  // log2-histogram percentiles (40 and 60 ns both land in the [32,63]
+  // bucket, whose inclusive upper bound 63 is what every percentile
+  // reports).
+  EXPECT_NE(csv.find("metric,kind,count,total,min,max,p50,p90,p99\n"), std::string::npos);
+  EXPECT_NE(csv.find("golden.counter,counter,2,5,,,,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("golden.gauge,gauge,2,1.25,-1.25,2.5,,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("golden.timer,timer,2,100,40,60,63,63,63\n"), std::string::npos);
   // Lexicographic order: the three golden rows appear in name order.
   EXPECT_LT(csv.find("golden.counter"), csv.find("golden.gauge"));
   EXPECT_LT(csv.find("golden.gauge"), csv.find("golden.timer"));
@@ -315,10 +318,111 @@ TEST_F(TelemetryTest, WritersMatchInMemoryExports) {
     os << in.rdbuf();
     return os.str();
   };
-  EXPECT_EQ(slurp(metrics_path), metrics_table().to_csv());
+  // The CSV on disk is metrics_csv(): the manifest comment block followed
+  // by the exact table serialization.
+  EXPECT_EQ(slurp(metrics_path), metrics_csv());
   EXPECT_EQ(slurp(trace_path), trace_json());
   std::remove(metrics_path.c_str());
   std::remove(trace_path.c_str());
+}
+
+TEST_F(TelemetryTest, TimerHistogramPercentileGolden) {
+  set_enabled(true);
+  // Observations spanning decades. Bucket b holds [2^(b-1), 2^b - 1] and a
+  // percentile reports its bucket's inclusive upper bound, so the goldens
+  // are exact integers: bucket counts are 1@[1,1], 2@[2,3], 1@[4,7],
+  // 1@[64,127], 2@[512,1023], 1@[4096,8191], 1@[65536,131071],
+  // 1@[524288,1048575]. With N=10: p50 hits rank 5 (the 100 ns value's
+  // bucket), p90 rank 9 (100 us), p99 rank 10 (1 ms).
+  for (const std::uint64_t ns :
+       {1ull, 2ull, 3ull, 4ull, 100ull, 1000ull, 1000ull, 5000ull, 100000ull, 1000000ull}) {
+    timer_add("hist.timer", ns);
+  }
+  timer_add("hist.zero", 0);  // zero durations get their own bucket 0
+  const auto rows = metrics_by_name();
+  ASSERT_TRUE(rows.count("hist.timer"));
+  EXPECT_EQ(rows.at("hist.timer")[6], "127");      // p50
+  EXPECT_EQ(rows.at("hist.timer")[7], "131071");   // p90
+  EXPECT_EQ(rows.at("hist.timer")[8], "1048575");  // p99
+  ASSERT_TRUE(rows.count("hist.zero"));
+  EXPECT_EQ(rows.at("hist.zero")[6], "0");
+  EXPECT_EQ(rows.at("hist.zero")[8], "0");
+}
+
+TEST_F(TelemetryTest, HistogramsMergeDeterministicallyAcrossWorkers) {
+  set_enabled(true);
+  // The same multiset of durations recorded from pool workers must produce
+  // the same percentiles as a serial recording: bucket counts are summed at
+  // export, so the merge cannot depend on which thread saw which value.
+  util::parallel_for(
+      64, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          timer_add("merge.timer", 100 * (i + 1));
+        }
+      },
+      4);
+  const auto rows = metrics_by_name();
+  ASSERT_TRUE(rows.count("merge.timer"));
+  EXPECT_EQ(rows.at("merge.timer")[2], "64");
+  // Values 100..6400 ns; rank 32 (p50) is 3200 ns -> bucket [2048,4095],
+  // rank 58 (p90) is 5800 -> [4096,8191], rank 64 (p99) likewise.
+  EXPECT_EQ(rows.at("merge.timer")[6], "4095");
+  EXPECT_EQ(rows.at("merge.timer")[7], "8191");
+  EXPECT_EQ(rows.at("merge.timer")[8], "8191");
+}
+
+TEST_F(TelemetryTest, ManifestRoundTripsThroughBothExports) {
+  set_enabled(true);
+  set_manifest("suite", "builtin:unit");
+  set_manifest("custom key", "custom value");
+  // The merged view carries the build-time entries plus the runtime ones.
+  bool saw_build_type = false;
+  for (const auto& [key, value] : manifest()) {
+    if (key == "build_type") {
+      saw_build_type = true;
+      EXPECT_TRUE(value == "debug" || value == "release") << value;
+    }
+  }
+  EXPECT_TRUE(saw_build_type);
+
+  const std::string csv = metrics_csv();
+  EXPECT_EQ(csv.find("# photherm-manifest v1\n"), 0u);
+  EXPECT_NE(csv.find("# suite=builtin:unit\n"), std::string::npos);
+  EXPECT_NE(csv.find("# custom key=custom value\n"), std::string::npos);
+  EXPECT_NE(csv.find("# git_sha="), std::string::npos);
+  EXPECT_NE(csv.find("metric,kind,count,total,min,max,p50,p90,p99\n"), std::string::npos);
+
+  const std::string json = trace_json();
+  check_json_well_formed(json);
+  EXPECT_NE(json.find("\"manifest\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"suite\":\"builtin:unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":"), std::string::npos);
+
+  // reset() clears the runtime entries but keeps the build-time constants.
+  reset();
+  const std::string cleared = metrics_csv();
+  EXPECT_EQ(cleared.find("builtin:unit"), std::string::npos);
+  EXPECT_NE(cleared.find("# build_type="), std::string::npos);
+}
+
+TEST_F(TelemetryTest, CounterEventsCarryValueAndIteration) {
+  set_enabled(true);
+  counter("conv.residual", 0.5, 0);
+  counter("conv.residual", 0.25, 1);
+  const std::string json = trace_json();
+  check_json_well_formed(json);
+  EXPECT_NE(json.find("\"ph\":\"C\",\"name\":\"conv.residual\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":0.5,\"iteration\":0}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":0.25,\"iteration\":1}"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, CounterEventsDropWhenDisabled) {
+  ASSERT_FALSE(enabled());
+  counter("conv.residual", 0.5, 0);
+  set_enabled(true);
+  const std::string json = trace_json();
+  EXPECT_EQ(json.find("conv.residual"), std::string::npos);
 }
 
 TEST_F(TelemetryTest, DisableKeepsCollectedData) {

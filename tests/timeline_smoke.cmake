@@ -49,4 +49,16 @@ if(NOT serial_csv STREQUAL threaded_csv)
                       "1 and 4 threads")
 endif()
 
+# Progress heartbeat: --progress N emits the stable key=value line on
+# stderr every N steps and must not perturb the physics output.
+set(progress_regex
+    "event=playback_progress scenario=[^ ]+ step=[0-9]+ time=[0-9.eE+-]+ dt=[0-9.eE+-]+ max_delta=[0-9.eE+-]+")
+run_cli_expect_stderr("${progress_regex}"
+                      ${play_args} --threads 1 --progress 3
+                      -o ${WORK_DIR}/progress.csv)
+file(READ ${WORK_DIR}/progress.csv progress_csv)
+if(NOT serial_csv STREQUAL progress_csv)
+  message(FATAL_ERROR "--progress changed the playback output")
+endif()
+
 run_cli(diff ${GOLDEN} ${WORK_DIR}/serial.csv --tol 1e-4)

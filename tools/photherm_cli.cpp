@@ -40,6 +40,7 @@
 #include <functional>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,7 @@
 #include "util/log.hpp"
 #include "util/string_util.hpp"
 #include "util/telemetry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -69,13 +71,18 @@ int usage(std::ostream& os, int exit_code) {
         "               [--adaptive] [--max-period-error REL] [--cold-start]\n"
         "               [--stencil] [--precond NAME] [--summary] [--threads N]\n"
         "               [--pause-after N --checkpoint FILE] [--resume FILE]\n"
+        "               [--progress N] [--convergence]\n"
         "               [--trace FILE] [--metrics FILE] [-o FILE]\n"
         "                                           transient playback, emit\n"
         "                                           time-series CSV\n"
         "  diff <a.csv> <b.csv> [--tol REL]         numeric CSV comparison\n"
         "a <suite> is a scenario file path or builtin:<name> (see `list`).\n"
         "--trace writes a Chrome trace-event JSON (Perfetto/chrome://tracing),\n"
-        "--metrics a metrics CSV; neither changes the scenario CSV output.\n";
+        "--metrics a metrics CSV; neither changes the scenario CSV output.\n"
+        "Both embed a run manifest (git sha, build type, suite, threads) that\n"
+        "photherm_report reads. --progress N logs a heartbeat stderr line\n"
+        "every N steps; --convergence records per-iteration solver residuals\n"
+        "(SolverResult histories + trace counter events).\n";
   return exit_code;
 }
 
@@ -168,6 +175,24 @@ struct TelemetryArgs {
   }
 };
 
+/// Runtime half of the run manifest (the build half — git sha, build type,
+/// compiler, sanitizer — is compiled into telemetry.cpp): what was run and
+/// how wide, so photherm_report can tell two artifacts apart months later.
+void set_run_manifest(const char* command, const CommonArgs& parsed,
+                      std::size_t scenario_count) {
+  if (!telemetry::enabled()) {
+    return;
+  }
+  telemetry::set_manifest("command", command);
+  telemetry::set_manifest("suite", parsed.suite);
+  std::ostringstream scenarios;
+  scenarios << scenario_count;
+  telemetry::set_manifest("scenario_count", scenarios.str());
+  std::ostringstream threads;
+  threads << (parsed.threads != 0 ? parsed.threads : util::concurrency());
+  telemetry::set_manifest("threads", threads.str());
+}
+
 int cmd_list() {
   std::cout << "built-in suites (run or expand with builtin:<name>):\n";
   for (const std::string& name : scenario::builtin_suite_names()) {
@@ -203,6 +228,7 @@ int cmd_run(const std::vector<std::string>& args) {
       });
   telemetry_args.enable_if_requested();
   const auto scenarios = resolve_suite(parsed.suite);
+  set_run_manifest("run", parsed, scenarios.size());
 
   scenario::BatchOptions options;
   options.threads = parsed.threads;
@@ -258,6 +284,11 @@ int cmd_play(const std::vector<std::string>& args) {
               parse_double(value("--max-period-error"), "--max-period-error");
         } else if (arg == "--cold-start") {
           playback.warm_start = false;
+        } else if (arg == "--progress") {
+          playback.progress_every =
+              static_cast<std::size_t>(parse_uint(value("--progress"), "--progress"));
+        } else if (arg == "--convergence") {
+          playback.solver.record_convergence = true;
         } else if (arg == "--summary") {
           summary = true;
         } else if (arg == "--pause-after") {
@@ -296,6 +327,7 @@ int cmd_play(const std::vector<std::string>& args) {
   }
 
   const auto scenarios = resolve_suite(parsed.suite);
+  set_run_manifest("play", parsed, scenarios.size());
 
   // Quantization sanity: warn when the duty a schedule actually plays on
   // this grid drifts from the analytic duty by more than the settle
