@@ -1,0 +1,18 @@
+// photherm_lint fixture: the layering rule MUST fire on this file.
+//
+// fixtures.rules assigns this file to the `util` layer — the bottom of the
+// module DAG, which may include nothing above itself — and it then includes
+// a thermal/ header. An upward edge like util -> thermal would let the
+// foundation depend on the solvers built on top of it, so the layering rule
+// reports it. Fixtures are scanned, not compiled.
+
+#include "thermal/fvm.hpp"  // upward edge: util may not include thermal
+#include "util/error.hpp"   // own module: always allowed
+
+namespace photherm::util {
+
+inline double cell_temperature_hint() {
+  return 300.0;  // pretend helper that peeked at solver internals
+}
+
+}  // namespace photherm::util

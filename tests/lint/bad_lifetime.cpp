@@ -1,0 +1,30 @@
+// photherm_lint fixture: the lifetime rule MUST fire on this file.
+//
+// Containers (and aliases) whose elements are raw pointers, references, or
+// reference_wrappers to solver-lifetime types: reseating or destroying the
+// pointee dangles every element at once — the collection-sized version of
+// the PR 6 SSOR bug. The rule walks the token stream, so the multi-line
+// declaration fires too. Fixtures are scanned, not compiled.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace photherm {
+
+// Raw-pointer pool: nothing owns the matrices the cache points at.
+std::vector<CsrMatrix*> warm_factor_cache;
+
+// Multi-line spelling of the same hazard: single-line regexes miss it.
+std::map<std::string,
+         const ThermalField*>
+    fields_by_name;
+
+// Alias spelling: the alias is the container type, the hazard is identical.
+using PreconditionerList = std::vector<Preconditioner*>;
+
+// reference_wrapper is still a non-owning view.
+std::vector<std::reference_wrapper<RectilinearMesh>> meshes_under_test;
+
+}  // namespace photherm

@@ -1,0 +1,33 @@
+// photherm_lint fixture: the determinism rule MUST fire on this file — on
+// the real std::rand() call at the bottom, not on the raw-string bodies
+// above it.
+//
+// The raw strings are the same decoys as in good_rawstring.cpp. They prove
+// the lexer closes each literal at its own )delim" terminator: if blanking
+// overshot (or never ended), the genuine call after them would be swallowed
+// and this fixture would stop firing. Fixtures are scanned, not compiled.
+
+#include <cstdlib>
+#include <string>
+
+namespace photherm {
+
+inline const char* ban_summary() {
+  return R"(calling std::rand() or time(nullptr) is banned in src/)";
+}
+
+inline const char* ban_details() {
+  return u8R"doc(std::random_device, srand(seed), steady_clock: banned too)doc";
+}
+
+inline const char* ban_multiline() {
+  return R"(first line mentions a // comment marker
+second line has an unmatched " quote and clock( text
+third line: gettimeofday, localtime, system_clock)";
+}
+
+inline int entropy() {
+  return std::rand();  // the real call: lexing resumed after the raw strings
+}
+
+}  // namespace photherm

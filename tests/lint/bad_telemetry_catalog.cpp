@@ -1,0 +1,32 @@
+// photherm_lint fixture: the telemetry rule MUST fire on this file — in
+// both directions. fixtures.rules declares this file as its own
+// telemetry_catalog, so the rule joins the call sites below against the
+// seeded entries:
+//   * `solver.demo.iterations` is used but never seeded (catalog-driven
+//     reports silently drop it);
+//   * `pool.demo.queue_wait` is seeded but never used (it reports a
+//     permanent zero).
+// Fixtures are scanned, not compiled.
+
+namespace photherm::demo {
+
+struct MetricDef {
+  const char* name;
+  const char* kind;
+};
+
+inline const MetricDef* catalog() {
+  static const MetricDef entries[] = {
+      {"solver.demo.solves", "counter"},
+      {"pool.demo.queue_wait", "timer"},  // dead entry: no call site below
+  };
+  return entries;
+}
+
+inline void instrument(int iterations) {
+  telemetry::count("solver.demo.solves", 1);
+  // Name drift: "iterations" was never added to the catalog.
+  telemetry::count("solver.demo.iterations", iterations);
+}
+
+}  // namespace photherm::demo

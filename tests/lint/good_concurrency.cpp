@@ -1,0 +1,37 @@
+// photherm_lint fixture: the concurrency rule must stay SILENT on this file.
+//
+// Every write inside the parallel lambdas is either index-partitioned
+// (each iteration owns slot i, so no two iterations touch the same
+// element) or lands on a lambda-local — the two patterns the codebase uses
+// for race-free parallel writes. Fixtures are scanned, not compiled.
+
+#include <cstddef>
+#include <vector>
+
+namespace photherm {
+
+inline void scaled_copy(util::ThreadPool& pool, const std::vector<double>& x,
+                        std::vector<double>& out) {
+  util::parallel_for(pool, x.size(), [&](std::size_t i) {
+    const double scaled = 2.0 * x[i];  // lambda-local scratch
+    out[i] = scaled;                   // index-partitioned write
+  });
+}
+
+inline double chunk_sum(util::ThreadPool& pool, const std::vector<double>& x,
+                        std::vector<double>& partial, std::size_t grain) {
+  util::parallel_for(pool, partial.size(), [&](std::size_t slot) {
+    double local = 0.0;  // accumulate locally, publish once per slot
+    for (std::size_t j = slot * grain; j < (slot + 1) * grain && j < x.size(); ++j) {
+      local += x[j];
+    }
+    partial[slot] = local;
+  });
+  double total = 0.0;
+  for (const double p : partial) {  // sequential combine after the join
+    total += p;
+  }
+  return total;
+}
+
+}  // namespace photherm

@@ -1,0 +1,18 @@
+// photherm_lint fixture: the layering rule must stay SILENT on this file.
+//
+// fixtures.rules assigns this file to the `util` layer, like its bad_ twin,
+// but every include here is legal: its own module, a same-directory header
+// (no module prefix), and angled system headers, which are exempt from
+// layering. Fixtures are scanned, not compiled.
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"    // own module: always allowed
+#include "local_helpers.hpp" // no module prefix: not a layered include
+
+namespace photherm::util {
+
+inline std::string layer_name() { return "util"; }
+
+}  // namespace photherm::util

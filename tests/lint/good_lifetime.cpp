@@ -1,0 +1,28 @@
+// photherm_lint fixture: the lifetime rule must stay SILENT on this file.
+//
+// The owning spellings of the collections in bad_lifetime.cpp: element
+// values and owning smart pointers tie element lifetime to the container,
+// and raw pointers to non-solver types are outside the rule's guarded set.
+// Fixtures are scanned, not compiled.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace photherm {
+
+// Values: the container owns its elements outright.
+std::vector<CsrMatrix> cached_factors;
+
+// Owning smart pointers: destruction order belongs to the container.
+std::vector<std::unique_ptr<Preconditioner>> preconditioner_chain;
+
+std::map<std::string,
+         ThermalField>
+    fields_by_name;
+
+// Raw pointers to non-solver-lifetime types are not this rule's concern.
+std::vector<const char*> column_names;
+
+}  // namespace photherm

@@ -1,0 +1,34 @@
+// photherm_lint fixture: raw and spliced string literals must be BLANKED —
+// no rule may fire on this file even though the literal bodies below spell
+// out every determinism trigger.
+//
+// This pins the two PR 7 lexer bugs: the old blanker only recognized a
+// bare `R"` (so the u8R-prefixed raw string leaked its body into the
+// scanned code), and it did not splice string literals continued by a
+// trailing backslash. Fixtures are scanned, not compiled.
+
+#include <string>
+
+namespace photherm {
+
+inline const char* ban_summary() {
+  return R"(calling std::rand() or time(nullptr) is banned in src/)";
+}
+
+inline const char* ban_details() {
+  // The encoding prefix defeated the PR 7 blanker.
+  return u8R"doc(std::random_device, srand(seed), steady_clock: banned too)doc";
+}
+
+inline const char* ban_multiline() {
+  return R"(first line mentions a // comment marker
+second line has an unmatched " quote and clock( text
+third line: gettimeofday, localtime, system_clock)";
+}
+
+inline const char* ban_spliced() {
+  return "std::ra\
+nd() split by a line splice is still one literal";
+}
+
+}  // namespace photherm

@@ -1,0 +1,35 @@
+// photherm_lint fixture: the telemetry rule must stay SILENT on this file.
+//
+// fixtures.rules declares this file as its own telemetry_catalog. Every
+// call site below resolves against the seeded entries — an exact literal, a
+// ScopedTimer, and a dynamically assembled name (matched by its ordered
+// literal fragments, anchored at both ends) — and every catalog entry has
+// at least one call site. Fixtures are scanned, not compiled.
+
+#include <string>
+
+namespace photherm::demo {
+
+struct MetricDef {
+  const char* name;
+  const char* kind;
+};
+
+inline const MetricDef* catalog() {
+  static const MetricDef entries[] = {
+      {"solver.demo.solves", "counter"},
+      {"solver.demo.time", "timer"},
+      {"precond.demo.builds", "counter"},
+  };
+  return entries;
+}
+
+inline void instrument(const std::string& kind, int builds) {
+  telemetry::count("solver.demo.solves", 1);
+  telemetry::ScopedTimer solve_timer("solver.demo.time");
+  // Dynamic name: fragments "precond." + <kind> + ".builds" match the
+  // seeded precond.demo.builds entry.
+  telemetry::count(std::string("precond.") + kind + ".builds", builds);
+}
+
+}  // namespace photherm::demo

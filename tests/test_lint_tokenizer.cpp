@@ -1,0 +1,189 @@
+// Unit tests for the photherm_lint tokenizer (tools/lint/source.cpp): the
+// single-pass lexer every rule family runs over. The cases pin the lexing
+// corners that defeated the PR 7 line-blanker — encoding-prefixed raw
+// strings, backslash-spliced literals and comments — plus the invariants
+// the cross-line rules depend on: token line mapping, include suppression,
+// and inline-allow propagation.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/source.hpp"
+
+namespace lint = photherm::lint;
+
+namespace {
+
+bool has_ident(const lint::SourceFile& file, const std::string& name) {
+  return std::any_of(file.tokens.begin(), file.tokens.end(), [&](const lint::Token& t) {
+    return t.kind == lint::Token::Kind::kIdentifier && t.text == name;
+  });
+}
+
+std::vector<std::string> string_tokens(const lint::SourceFile& file) {
+  std::vector<std::string> out;
+  for (const lint::Token& t : file.tokens) {
+    if (t.kind == lint::Token::Kind::kString) {
+      out.push_back(t.text);
+    }
+  }
+  return out;
+}
+
+lint::SourceFile parse(const std::string& content) {
+  return lint::parse_source(content, "test.cpp");
+}
+
+}  // namespace
+
+TEST(LintTokenizer, RawStringBodyIsBlankedNotTokenized) {
+  const lint::SourceFile file = parse(
+      "const char* s = R\"(std::rand() // \" time(nullptr))\";\n"
+      "int after = 1;\n");
+  // The body never reaches the blanked code line or the identifier stream.
+  EXPECT_EQ(file.lines[0].code.find("rand"), std::string::npos);
+  EXPECT_FALSE(has_ident(file, "rand"));
+  EXPECT_FALSE(has_ident(file, "time"));
+  // Lexing resumed after the close: the next statement is tokenized.
+  EXPECT_TRUE(has_ident(file, "after"));
+  // The body is carried as one string token for the token-based rules.
+  const std::vector<std::string> strings = string_tokens(file);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "std::rand() // \" time(nullptr)");
+}
+
+TEST(LintTokenizer, EncodingPrefixedRawStringsAreRecognized) {
+  // The PR 7 blanker only knew a bare R": every prefixed form leaked its
+  // body into the scanned code.
+  for (const std::string prefix : {"R", "LR", "uR", "UR", "u8R"}) {
+    const lint::SourceFile file =
+        parse("const auto* s = " + prefix + "\"x(std::rand() banned)x\";\n");
+    EXPECT_EQ(file.lines[0].code.find("rand"), std::string::npos) << prefix;
+    EXPECT_FALSE(has_ident(file, "rand")) << prefix;
+  }
+}
+
+TEST(LintTokenizer, MultiLineRawStringKeepsLineMapping) {
+  const lint::SourceFile file = parse(
+      "const char* s = R\"(line one\n"
+      "line two with \" quote\n"
+      "line three)\";\n"
+      "int after = 2;\n");
+  ASSERT_EQ(file.lines.size(), 4u);
+  EXPECT_EQ(file.lines[1].code.find_first_not_of(' '), std::string::npos);
+  // The string token is anchored at the line where the literal starts ...
+  const auto it = std::find_if(file.tokens.begin(), file.tokens.end(), [](const lint::Token& t) {
+    return t.kind == lint::Token::Kind::kString;
+  });
+  ASSERT_NE(it, file.tokens.end());
+  EXPECT_EQ(it->line, 1u);
+  EXPECT_EQ(it->text, "line one\nline two with \" quote\nline three");
+  // ... and tokens after it map to their own lines.
+  const auto after = std::find_if(file.tokens.begin(), file.tokens.end(), [](const lint::Token& t) {
+    return t.kind == lint::Token::Kind::kIdentifier && t.text == "after";
+  });
+  ASSERT_NE(after, file.tokens.end());
+  EXPECT_EQ(after->line, 4u);
+}
+
+TEST(LintTokenizer, SplicedStringLiteralStaysOneLiteral) {
+  const lint::SourceFile file = parse(
+      "const char* s = \"std::ra\\\n"
+      "nd() spliced\";\n"
+      "int after = 3;\n");
+  EXPECT_EQ(file.lines[0].code.find("rand"), std::string::npos);
+  EXPECT_EQ(file.lines[1].code.find("rand"), std::string::npos);
+  EXPECT_FALSE(has_ident(file, "rand"));
+  EXPECT_TRUE(has_ident(file, "after"));
+  const std::vector<std::string> strings = string_tokens(file);
+  ASSERT_EQ(strings.size(), 1u);
+  // The splice removes the newline: the body reads as one run of text.
+  EXPECT_EQ(strings[0], "std::rand() spliced");
+}
+
+TEST(LintTokenizer, SplicedLineCommentSwallowsContinuation) {
+  const lint::SourceFile file = parse(
+      "// banned: std::rand() \\\n"
+      "and also time(nullptr) on the continued line\n"
+      "int after = 4;\n");
+  EXPECT_EQ(file.lines[1].code.find_first_not_of(' '), std::string::npos);
+  EXPECT_FALSE(has_ident(file, "time"));
+  EXPECT_TRUE(has_ident(file, "after"));
+}
+
+TEST(LintTokenizer, CommentMarkersInsideStringsDoNotOpenComments) {
+  const lint::SourceFile file = parse(
+      "const char* a = \"/* not a comment\";\n"
+      "int y = 2; // real comment: rand()\n");
+  EXPECT_TRUE(has_ident(file, "y"));  // the fake /* did not swallow line 2
+  EXPECT_FALSE(has_ident(file, "rand"));
+  EXPECT_EQ(file.lines[1].code.find("rand"), std::string::npos);
+}
+
+TEST(LintTokenizer, AdjacentLiteralsAreSeparateTokens) {
+  const lint::SourceFile file = parse("const char* s = \"ab\" \"cd\";\n");
+  EXPECT_EQ(string_tokens(file), (std::vector<std::string>{"ab", "cd"}));
+}
+
+TEST(LintTokenizer, CharLiteralsDoNotOpenStrings) {
+  const lint::SourceFile file = parse("char q = '\"'; int z = 3;\n");
+  EXPECT_TRUE(has_ident(file, "z"));
+  EXPECT_TRUE(string_tokens(file).empty());
+}
+
+TEST(LintTokenizer, DigitSeparatorsScanAsOneNumber) {
+  const lint::SourceFile file = parse("int n = 1'000'000; int m = 2;\n");
+  const auto it = std::find_if(file.tokens.begin(), file.tokens.end(), [](const lint::Token& t) {
+    return t.kind == lint::Token::Kind::kNumber && t.text == "1'000'000";
+  });
+  EXPECT_NE(it, file.tokens.end());
+  // The ' did not open a char-literal state: the next statement survived.
+  EXPECT_TRUE(has_ident(file, "m"));
+}
+
+TEST(LintTokenizer, IncludesAreRecordedAndSuppressed) {
+  const lint::SourceFile file = parse(
+      "#include \"thermal/fvm.hpp\"\n"
+      "# include <vector>\n"
+      "int x = 0;\n");
+  ASSERT_EQ(file.includes.size(), 2u);
+  EXPECT_EQ(file.includes[0].path, "thermal/fvm.hpp");
+  EXPECT_EQ(file.includes[0].line, 1u);
+  EXPECT_FALSE(file.includes[0].angled);
+  EXPECT_EQ(file.includes[1].path, "vector");
+  EXPECT_TRUE(file.includes[1].angled);
+  // Include lines emit no tokens, so paths cannot confuse token matchers.
+  EXPECT_FALSE(has_ident(file, "thermal"));
+  EXPECT_FALSE(has_ident(file, "include"));
+  EXPECT_TRUE(has_ident(file, "x"));
+}
+
+TEST(LintTokenizer, InlineAllowAppliesToLineAndPropagatesFromMarkerLine) {
+  const lint::SourceFile file = parse(
+      "long t = time(nullptr);  // ph-lint: allow(determinism) fixture\n"
+      "// ph-lint: allow(errors, ownership) marker-above form\n"
+      "throw 42;\n"
+      "int unaffected = 0;\n");
+  EXPECT_EQ(file.lines[0].inline_allows.count("determinism"), 1u);
+  // A marker alone on a line covers the next line, with every listed rule.
+  EXPECT_EQ(file.lines[2].inline_allows.count("errors"), 1u);
+  EXPECT_EQ(file.lines[2].inline_allows.count("ownership"), 1u);
+  EXPECT_TRUE(file.lines[3].inline_allows.empty());
+}
+
+TEST(LintTokenizer, MultiCharPunctuatorsLexAsSingleTokens) {
+  const lint::SourceFile file = parse("a += b; c <<= d; e->f(); g::h; i >> j;\n");
+  const auto has_punct = [&](const std::string& p) {
+    return std::any_of(file.tokens.begin(), file.tokens.end(), [&](const lint::Token& t) {
+      return t.kind == lint::Token::Kind::kPunct && t.text == p;
+    });
+  };
+  EXPECT_TRUE(has_punct("+="));
+  EXPECT_TRUE(has_punct("<<="));
+  EXPECT_TRUE(has_punct("->"));
+  EXPECT_TRUE(has_punct("::"));
+  EXPECT_TRUE(has_punct(">>"));
+}

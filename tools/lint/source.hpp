@@ -1,0 +1,68 @@
+/// \file source.hpp
+/// \brief Source model for photherm_lint: one scanned file as blanked lines
+/// (comments and literal bodies replaced by spaces, for the line-lexical
+/// rules) plus a comment/string-free token stream with line mapping (for
+/// the cross-line rules) and the file's include directives.
+///
+/// The lexer is a single pass shared by every rule family: a file is read
+/// and tokenized exactly once, and all rules run over the cached
+/// SourceFile. It understands:
+///   * `//` and `/* */` comments, including `//` comments continued across
+///     lines by a trailing backslash;
+///   * string and char literals with escapes, including literals spliced
+///     across lines by a trailing backslash;
+///   * raw strings `R"delim(...)delim"` with encoding prefixes
+///     (`LR`, `uR`, `UR`, `u8R`), whose bodies — comment markers, quotes,
+///     rule trigger words and all — are fully blanked and never tokenized;
+///   * adjacent literals, digit separators (`1'000`), and multi-line raw
+///     strings.
+/// `#include` directives are recorded separately (path, line, angled or
+/// quoted) and their lines produce no tokens, so include paths can never
+/// confuse a token-matching rule.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace photherm::lint {
+
+/// One lexed token. String/char tokens carry the literal *body* (escapes
+/// kept as written) and the line where the literal starts.
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kString, kChar, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based
+};
+
+/// A recorded `#include` directive.
+struct IncludeDirective {
+  std::string path;      ///< as written between the delimiters
+  std::size_t line = 0;  ///< 1-based
+  bool angled = false;   ///< `<...>` rather than `"..."`
+};
+
+struct SourceLine {
+  std::string raw;       ///< the line as written
+  std::string code;      ///< literals and comments replaced by spaces
+  std::string literals;  ///< concatenated bodies of string literals on the line
+  std::set<std::string> inline_allows;  ///< rules allowed by a ph-lint marker
+};
+
+struct SourceFile {
+  std::string path;  ///< as reported (relative to --root when possible)
+  std::vector<SourceLine> lines;
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Lex `content` into the shared source model. `report_path` is the path
+/// findings are reported under.
+SourceFile parse_source(const std::string& content, const std::string& report_path);
+
+/// Read `disk_path` and parse it; throws photherm::Error when unreadable.
+SourceFile load_source(const std::string& disk_path, const std::string& report_path);
+
+}  // namespace photherm::lint

@@ -1,66 +1,33 @@
 /// \file photherm_lint.cpp
-/// \brief Project-invariant static analysis for the photherm tree.
+/// \brief Thin CLI over the tools/lint analysis library.
 ///
-/// The repo's headline guarantees — bit-identical results at any thread
-/// count, exact text round-trips for scenario files and checkpoints,
-/// byte-identical checkpoint resume — are runtime-tested, but the bug
-/// classes that break them are mechanically detectable source patterns
-/// (PR 6's SSOR preconditioner held a raw `const CsrMatrix*` into a matrix
-/// it did not own for five PRs before a review caught it). This tool makes
-/// those invariants build-time checks with named, file:line-reporting
-/// rules:
+/// photherm_lint enforces the project's cross-cutting invariants — the bug
+/// classes the ordinary test suite is structurally bad at catching. The
+/// analysis itself lives in tools/lint/ (tokenizer, config, rule families);
+/// this file only parses arguments, expands the scan set, runs the enabled
+/// rules over the once-lexed tree, and renders findings as plain reports,
+/// GitHub workflow annotations (--github), or SARIF (--sarif).
 ///
-///   ownership      no raw-pointer/reference *members* to CsrMatrix /
-///                  LinearOperator / Preconditioner / mesh / field objects:
-///                  a view member outlives nothing, so every holder must own
-///                  (copy, unique_ptr, shared_ptr) or be allowlisted with a
-///                  written lifetime argument.
-///   determinism    no wall-clock or non-deterministic randomness
-///                  (std::rand / time() / random_device / system clocks),
-///                  and no iteration over unordered_map/unordered_set —
-///                  hash order is implementation-defined, so any iteration
-///                  that feeds output or accumulation breaks bit-identity.
-///   serialization  in files that write persisted text formats (scenario
-///                  files, checkpoints, CSV), double→text must go through
-///                  util::format_shortest — never std::to_string or
-///                  iostream precision — so serialize/parse round-trips are
-///                  bit-exact.
-///   errors         every `throw` raises photherm::Error or a subclass
-///                  (type name ending in `Error`), so callers and the test
-///                  suite can assert on failure modes; abort()/exit() are
-///                  not error paths in library code.
-///
-/// The scan is a line-based lexical pass: comments and string/char literal
-/// bodies are blanked before the rules run, so prose and messages cannot
-/// false-positive. It is intentionally heuristic — a multi-line member
-/// declaration can evade the ownership rule — but every invariant bug this
-/// repo has actually shipped matches on a single line.
-///
-/// Allowlisting (both forms require the scan to stay reviewable):
-///   * inline, per line:  `// ph-lint: allow(rule[,rule]) <reason>` — on the
-///     flagged line, or alone on the line above it
-///   * per file, in the config (default `tools/photherm_lint.rules`
-///     under --root):      `allow <rule> <path-suffix>`
-/// The config also declares which files write persisted formats:
-///                         `serialized <path-suffix>`
-///
-/// Usage:
-///   photherm_lint [--root DIR] [--config FILE] [--rule NAME ...]
-///                 [--list-rules] PATH...
-/// PATHs are files or directories (recursed for *.hpp / *.cpp), resolved
-/// against --root. Exit 0 when clean, 2 when violations were found.
+/// Contract (unchanged since PR 7): findings print as
+///   <path>:<line>: [<rule>] <message>
+/// and the exit code is 0 when clean, 2 when violations were found, 1 on
+/// usage/config errors. Suppression grammar: inline
+/// `// ph-lint: allow(rule) reason` markers and per-file `allow` lines in
+/// the config (see tools/photherm_lint.rules).
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <regex>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/config.hpp"
+#include "lint/rules.hpp"
+#include "lint/source.hpp"
 #include "util/error.hpp"
 
 namespace fs = std::filesystem;
@@ -68,492 +35,108 @@ namespace fs = std::filesystem;
 namespace {
 
 using photherm::Error;
-
-// ---------------------------------------------------------------------------
-// Source model: one scanned file, with literals/comments blanked.
-
-struct SourceLine {
-  std::string raw;       // the line as written
-  std::string code;      // literals and comments replaced by spaces
-  std::string literals;  // concatenated bodies of string literals on the line
-  std::set<std::string> inline_allows;  // rules allowed by a ph-lint marker
-};
-
-struct SourceFile {
-  std::string path;  // as reported (relative to --root when possible)
-  std::vector<SourceLine> lines;
-};
-
-/// Extract `ph-lint: allow(a,b)` rule names from a raw line.
-std::set<std::string> parse_inline_allows(const std::string& raw) {
-  static const std::regex marker(R"(ph-lint:\s*allow\(([^)]*)\))");
-  std::set<std::string> rules;
-  std::smatch m;
-  if (std::regex_search(raw, m, marker)) {
-    std::stringstream list(m[1].str());
-    std::string rule;
-    while (std::getline(list, rule, ',')) {
-      const auto begin = rule.find_first_not_of(" \t");
-      const auto end = rule.find_last_not_of(" \t");
-      if (begin != std::string::npos) {
-        rules.insert(rule.substr(begin, end - begin + 1));
-      }
-    }
-  }
-  return rules;
-}
-
-/// Blank comments and literal bodies so rules only ever match real code.
-/// Handles // and /* */ comments, "…" and '…' literals with escapes, and
-/// raw strings R"delim(…)delim". Replaced characters become spaces so
-/// column positions (and therefore regex anchors) survive.
-SourceFile load_source(const fs::path& disk_path, const std::string& report_path) {
-  std::ifstream in(disk_path);
-  if (!in) {
-    throw Error("cannot open " + disk_path.string());
-  }
-  SourceFile file;
-  file.path = report_path;
-
-  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // for raw strings: the )delim" terminator
-
-  std::string raw;
-  while (std::getline(in, raw)) {
-    SourceLine line;
-    line.raw = raw;
-    line.inline_allows = parse_inline_allows(raw);
-    std::string code(raw.size(), ' ');
-
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-      const char c = raw[i];
-      const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            i = raw.size();  // rest of line is comment
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            ++i;
-          } else if (c == 'R' && next == '"' &&
-                     (i == 0 || (!isalnum(static_cast<unsigned char>(raw[i - 1])) &&
-                                 raw[i - 1] != '_'))) {
-            const std::size_t open = raw.find('(', i + 2);
-            if (open != std::string::npos) {
-              // Built up in steps: GCC 12's -Wrestrict false-positives on
-              // chained std::string operator+ (PR 105651) under -Werror.
-              raw_delim = ")";
-              raw_delim.append(raw, i + 2, open - i - 2);
-              raw_delim += '"';
-              state = State::kRawString;
-              code[i] = 'R';
-              i = open;  // blank from the opening paren onwards
-            } else {
-              code[i] = c;
-            }
-          } else if (c == '"') {
-            state = State::kString;
-            code[i] = '"';
-          } else if (c == '\'') {
-            state = State::kChar;
-            code[i] = '\'';
-          } else {
-            code[i] = c;
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            if (i + 1 < raw.size()) {
-              line.literals += raw.substr(i, 2);
-            }
-            ++i;
-          } else if (c == '"') {
-            state = State::kCode;
-            code[i] = '"';
-            line.literals += '\n';
-          } else {
-            line.literals += c;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            state = State::kCode;
-            code[i] = '\'';
-          }
-          break;
-        case State::kRawString:
-          if (raw.compare(i, raw_delim.size(), raw_delim) == 0) {
-            state = State::kCode;
-            i += raw_delim.size() - 1;
-            code[i] = '"';
-            line.literals += '\n';
-          } else {
-            line.literals += c;
-          }
-          break;
-      }
-    }
-    // A string or char literal cannot span lines (raw strings can).
-    if (state == State::kString || state == State::kChar) {
-      state = State::kCode;
-    }
-    line.code = std::move(code);
-    file.lines.push_back(std::move(line));
-  }
-  // A marker on a pure-comment line covers the next line, so long lines can
-  // carry `// ph-lint: allow(rule) why` on the line above.
-  for (std::size_t i = 0; i + 1 < file.lines.size(); ++i) {
-    const SourceLine& line = file.lines[i];
-    if (!line.inline_allows.empty() &&
-        line.code.find_first_not_of(" \t") == std::string::npos) {
-      file.lines[i + 1].inline_allows.insert(line.inline_allows.begin(),
-                                             line.inline_allows.end());
-    }
-  }
-  return file;
-}
-
-// ---------------------------------------------------------------------------
-// Configuration: serialized-format files and per-file allowlists.
-
-struct Config {
-  std::vector<std::string> serialized;                     // path suffixes
-  std::map<std::string, std::vector<std::string>> allows;  // rule -> suffixes
-};
-
-std::string normalize(std::string path) {
-  std::replace(path.begin(), path.end(), '\\', '/');
-  return path;
-}
-
-bool suffix_match(const std::string& path, const std::string& suffix) {
-  const std::string p = normalize(path);
-  if (p.size() < suffix.size()) {
-    return false;
-  }
-  if (p.size() == suffix.size()) {
-    return p == suffix;
-  }
-  // Match on a path-component boundary so `axis.hpp` cannot match
-  // `taxis.hpp`.
-  return p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0 &&
-         p[p.size() - suffix.size() - 1] == '/';
-}
-
-Config load_config(const fs::path& path, const std::set<std::string>& known_rules) {
-  std::ifstream in(path);
-  if (!in) {
-    throw Error("cannot open lint config " + path.string());
-  }
-  Config config;
-  std::string raw;
-  int line_number = 0;
-  while (std::getline(in, raw)) {
-    ++line_number;
-    const std::string line = raw.substr(0, raw.find('#'));
-    std::stringstream fields(line);
-    std::string kind;
-    if (!(fields >> kind)) {
-      continue;  // blank or comment-only
-    }
-    const auto context = [&] {
-      return path.string() + ":" + std::to_string(line_number);
-    };
-    if (kind == "serialized") {
-      std::string suffix;
-      if (!(fields >> suffix)) {
-        throw Error(context() + ": `serialized` needs a path suffix");
-      }
-      config.serialized.push_back(normalize(suffix));
-    } else if (kind == "allow") {
-      std::string rule, suffix;
-      if (!(fields >> rule >> suffix)) {
-        throw Error(context() + ": `allow` needs a rule name and a path suffix");
-      }
-      if (known_rules.count(rule) == 0) {
-        throw Error(context() + ": unknown rule `" + rule + "`");
-      }
-      config.allows[rule].push_back(normalize(suffix));
-    } else {
-      throw Error(context() + ": unknown directive `" + kind +
-                  "` (expected `serialized` or `allow`)");
-    }
-  }
-  return config;
-}
-
-// ---------------------------------------------------------------------------
-// Findings.
-
-struct Finding {
-  std::string path;
-  std::size_t line;  // 1-based
-  std::string rule;
-  std::string message;
-};
-
-class Reporter {
- public:
-  Reporter(const Config& config, std::vector<Finding>& out) : config_(config), out_(out) {}
-
-  /// Record a finding unless the line or file is allowlisted for the rule.
-  void report(const SourceFile& file, std::size_t index, const std::string& rule,
-              const std::string& message) {
-    if (file.lines[index].inline_allows.count(rule) != 0) {
-      return;
-    }
-    const auto it = config_.allows.find(rule);
-    if (it != config_.allows.end()) {
-      for (const std::string& suffix : it->second) {
-        if (suffix_match(file.path, suffix)) {
-          return;
-        }
-      }
-    }
-    out_.push_back({file.path, index + 1, rule, message});
-  }
-
- private:
-  const Config& config_;
-  std::vector<Finding>& out_;
-};
-
-// ---------------------------------------------------------------------------
-// Rule: ownership — raw pointer/reference members to guarded types.
-
-// Types whose instances are solver-lifetime resources: a raw view member
-// into one of these is exactly the PR 6 SSOR dangling-pointer bug class.
-const char* const kGuardedTypes =
-    "(?:CsrMatrix|LinearOperator|StencilOperator7|Preconditioner|"
-    "RectilinearMesh|ThermalField|Axis)";
-
-void rule_ownership(const SourceFile& file, Reporter& reporter) {
-  // An uninitialized `Type* name;` / `Type& name;` declaration is
-  // member-style: locals are initialized (references must be) and function
-  // parameters are always followed by `,` or `)`, never `;`.
-  static const std::regex member(std::string(R"(\b)") + kGuardedTypes +
-                                 R"(\b[^;(){}=]*[*&]\s*[A-Za-z_]\w*\s*;)");
-  // Members with default initializers follow the trailing-underscore
-  // naming convention, which keeps initialized locals (fine) out of scope.
-  static const std::regex member_init(std::string(R"(\b)") + kGuardedTypes +
-                                      R"(\b[^;(){}=]*[*&]\s*[A-Za-z_]\w*_\s*=[^;]*;)");
-  for (std::size_t i = 0; i < file.lines.size(); ++i) {
-    const std::string& code = file.lines[i].code;
-    if (std::regex_search(code, member) || std::regex_search(code, member_init)) {
-      reporter.report(file, i, "ownership",
-                      "raw pointer/reference member to a solver-lifetime type "
-                      "(CsrMatrix/LinearOperator/mesh/...): the holder must own its "
-                      "data (copy, unique_ptr, shared_ptr) — a non-owning view member "
-                      "is the PR 6 SSOR dangling-pointer bug class; if the lifetime "
-                      "is provably managed, allowlist it with the argument written "
-                      "down");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: determinism — wall clocks, ambient randomness, unordered iteration.
-
-void rule_determinism(const SourceFile& file, Reporter& reporter) {
-  struct Token {
-    std::regex re;
-    const char* what;
-  };
-  // `[^\w.>:]` guards reject member calls (`solver_->time()`, `obj.time()`)
-  // and qualified names handled by their own std:: pattern.
-  static const std::vector<Token> tokens = [] {
-    std::vector<Token> t;
-    t.push_back({std::regex(R"(\bstd::rand\b|(?:^|[^\w.>:])rand\s*\()"), "rand()"});
-    t.push_back({std::regex(R"(\bstd::srand\b|(?:^|[^\w.>:])srand\s*\()"), "srand()"});
-    // libc time() always takes an argument; zero-arg `time()` is a member
-    // accessor (e.g. TransientSolver::time()), which stays legal.
-    t.push_back({std::regex(R"(\bstd::time\b|(?:^|[^\w.>:])time\s*\(\s*[^)\s])"), "time()"});
-    t.push_back({std::regex(R"((?:^|[^\w.>:])clock\s*\()"), "clock()"});
-    t.push_back({std::regex(R"(\bgettimeofday\b|\blocaltime\b|\bgmtime\b)"), "wall-clock time"});
-    t.push_back({std::regex(R"(\brandom_device\b)"), "std::random_device"});
-    t.push_back({std::regex(R"(\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b)"),
-                 "a std::chrono clock"});
-    return t;
-  }();
-
-  for (std::size_t i = 0; i < file.lines.size(); ++i) {
-    const std::string& code = file.lines[i].code;
-    for (const Token& token : tokens) {
-      if (std::regex_search(code, token.re)) {
-        reporter.report(file, i, "determinism",
-                        std::string(token.what) +
-                            " is non-deterministic across runs: results must be "
-                            "bit-identical at any thread count, so all stochastic "
-                            "inputs derive from util::Rng with an explicit seed and "
-                            "timing belongs in bench/, not src/");
-      }
-    }
-  }
-
-  // Iterating an unordered container visits elements in hash order, which
-  // is implementation-defined: any iteration that feeds output, ordering,
-  // or floating-point accumulation silently breaks bit-identity. Collect
-  // the names declared with unordered types in this file, then flag
-  // range-for loops and begin() walks over them. Keyed lookups stay fine.
-  static const std::regex decl(R"(\bunordered_(?:map|set)\s*<.*>\s*[&*]?\s*([A-Za-z_]\w*))");
-  std::set<std::string> unordered_names;
-  for (const SourceLine& line : file.lines) {
-    auto begin = std::sregex_iterator(line.code.begin(), line.code.end(), decl);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      unordered_names.insert((*it)[1].str());
-    }
-  }
-  for (const std::string& name : unordered_names) {
-    // `.end()` alone is a find()-sentinel, not iteration: only range-for
-    // and begin()-family walks visit hash order.
-    const std::regex iteration(R"(for\s*\([^)]*:\s*)" + name + R"(\b|\b)" + name +
-                               R"(\s*\.\s*(?:begin|cbegin|rbegin|crbegin)\s*\()");
-    for (std::size_t i = 0; i < file.lines.size(); ++i) {
-      if (std::regex_search(file.lines[i].code, iteration)) {
-        reporter.report(file, i, "determinism",
-                        "iteration over unordered container `" + name +
-                            "` visits hash order, which is implementation-defined: "
-                            "anything it feeds (output, accumulation, ordering) loses "
-                            "bit-identity — iterate a sorted std::map/std::vector "
-                            "instead, or keep the container lookup-only");
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: serialization — persisted doubles go through util::format_shortest.
-
-void rule_serialization(const SourceFile& file, const Config& config, Reporter& reporter) {
-  bool serialized = false;
-  for (const std::string& suffix : config.serialized) {
-    if (suffix_match(file.path, suffix)) {
-      serialized = true;
-      break;
-    }
-  }
-  if (!serialized) {
-    return;
-  }
-  static const std::regex to_string(R"(\bstd::to_string\s*\()");
-  static const std::regex precision(R"(\bsetprecision\b|\bstd::scientific\b|\bstd::fixed\b)");
-  static const std::regex printf_float(R"(%[-+ #0-9.*]*l?[aefgAEFG])");
-  for (std::size_t i = 0; i < file.lines.size(); ++i) {
-    const SourceLine& line = file.lines[i];
-    if (std::regex_search(line.code, to_string)) {
-      reporter.report(file, i, "serialization",
-                      "std::to_string in a persisted-format writer: doubles must go "
-                      "through util::format_shortest so serialize/parse round-trips "
-                      "bit-exactly (std::to_string truncates to 6 digits); integral "
-                      "arguments round-trip exactly under any formatting — allowlist "
-                      "them stating the type");
-    }
-    if (std::regex_search(line.code, precision)) {
-      reporter.report(file, i, "serialization",
-                      "iostream precision formatting in a persisted-format writer: "
-                      "a fixed digit count either truncates the double or spells it "
-                      "unreadably — persisted doubles go through "
-                      "util::format_shortest (shortest spelling that parses back "
-                      "bit-identically)");
-    }
-    if (std::regex_search(line.literals, printf_float)) {
-      reporter.report(file, i, "serialization",
-                      "printf-style float conversion in a persisted-format writer: "
-                      "persisted doubles go through util::format_shortest");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: errors — every throw raises photherm::Error (or a subclass).
-
-void rule_errors(const SourceFile& file, Reporter& reporter) {
-  static const std::regex throw_site(R"(\bthrow\b)");
-  // `throw <qualified-id>(...)`: capture the final identifier of the
-  // qualified name. Project error types all end in `Error` and derive from
-  // photherm::Error, which is what keeps failure modes assertable.
-  static const std::regex throw_expr(R"(\bthrow\s+(?:::)?(?:\w+\s*::\s*)*(\w+))");
-  static const std::regex rethrow(R"(\bthrow\s*;)");
-  static const std::regex process_exit(R"(\babort\s*\(|\bstd::exit\b|(?:^|[^\w.>:])exit\s*\()");
-
-  for (std::size_t i = 0; i < file.lines.size(); ++i) {
-    const std::string& code = file.lines[i].code;
-    if (std::regex_search(code, process_exit)) {
-      reporter.report(file, i, "errors",
-                      "abort()/exit() is not an error path: throw photherm::Error "
-                      "(or use PH_REQUIRE) so callers and the test suite can assert "
-                      "on the failure mode");
-    }
-    if (!std::regex_search(code, throw_site) || std::regex_search(code, rethrow)) {
-      continue;
-    }
-    // `throw` at end of line: join the next code lines so the thrown type
-    // lands in the same buffer.
-    std::string stmt = code;
-    for (std::size_t j = i + 1; j < file.lines.size() && j < i + 3; ++j) {
-      std::smatch m;
-      if (std::regex_search(stmt, m, throw_expr)) {
-        break;
-      }
-      stmt += " " + file.lines[j].code;
-    }
-    std::smatch m;
-    const bool named = std::regex_search(stmt, m, throw_expr);
-    const std::string type = named ? m[1].str() : "";
-    const bool is_error_type = type.size() >= 5 && type.compare(type.size() - 5, 5, "Error") == 0;
-    if (!is_error_type) {
-      reporter.report(file, i, "errors",
-                      "throw of `" + (type.empty() ? std::string("<unnamed>") : type) +
-                          "`: every photherm failure raises photherm::Error or a "
-                          "subclass (SpecError, SolverError, ...; via PH_REQUIRE "
-                          "where it is a precondition) so failure modes stay "
-                          "assertable");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver.
-
-struct Rule {
-  std::string name;
-  std::string summary;
-};
-
-const std::vector<Rule>& rules() {
-  static const std::vector<Rule> r = {
-      {"ownership",
-       "no raw pointer/reference members to CsrMatrix/LinearOperator/mesh objects — holders own "
-       "their data"},
-      {"determinism",
-       "no wall clocks or ambient randomness; no iteration over unordered containers"},
-      {"serialization",
-       "persisted doubles go through util::format_shortest (scenario files, checkpoints, CSV)"},
-      {"errors", "every throw raises photherm::Error or a subclass; no abort()/exit()"},
-  };
-  return r;
-}
+using photherm::lint::Config;
+using photherm::lint::Finding;
+using photherm::lint::Reporter;
+using photherm::lint::RuleInfo;
+using photherm::lint::SourceFile;
 
 bool scannable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".hpp" || ext == ".cpp";
 }
 
+/// Escape a value for a GitHub workflow command message.
+std::string github_escape(const std::string& text, bool property) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      case ':': out += property ? "%3A" : std::string(1, c); break;
+      case ',': out += property ? "%2C" : std::string(1, c); break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+/// Escape a string for embedding in a JSON document.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Minimal SARIF 2.1.0: one run, the rule registry as reportingDescriptors,
+/// one result per finding. Enough for GitHub code scanning upload.
+void write_sarif(const std::string& path, const std::vector<Finding>& findings) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot write SARIF report to " + path);
+  }
+  out << "{\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"runs\": [{\n"
+         "    \"tool\": {\"driver\": {\n"
+         "      \"name\": \"photherm_lint\",\n"
+         "      \"informationUri\": \"README.md\",\n"
+         "      \"rules\": [\n";
+  const std::vector<RuleInfo>& registry = photherm::lint::rules();
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    out << "        {\"id\": \"" << json_escape(registry[i].name)
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(registry[i].summary)
+        << "\"}}" << (i + 1 < registry.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+         "    }},\n"
+         "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "      {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.path) << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n"
+         "  }]\n"
+         "}\n";
+}
+
 int usage(std::ostream& os, int code) {
   os << "usage: photherm_lint [--root DIR] [--config FILE] [--rule NAME ...]\n"
-        "                     [--list-rules] PATH...\n"
+        "                     [--list-rules] [--github] [--sarif OUT] [--timings]\n"
+        "                     PATH...\n"
         "Scans PATHs (files, or directories recursed for *.hpp/*.cpp, resolved\n"
         "against --root) for photherm invariant violations. Exit 0 when clean,\n"
-        "2 when violations were found.\n";
+        "2 when violations were found.\n"
+        "  --github      also emit ::error workflow annotations per finding\n"
+        "  --sarif OUT   also write a SARIF 2.1.0 report to OUT\n"
+        "  --timings     print per-rule wall time after the summary\n";
   return code;
 }
 
@@ -562,9 +145,12 @@ int run(int argc, char** argv) {
   fs::path config_path;
   std::set<std::string> enabled;
   std::vector<std::string> inputs;
+  bool github = false;
+  bool timings = false;
+  std::string sarif_path;
 
   std::set<std::string> known_rules;
-  for (const Rule& rule : rules()) {
+  for (const RuleInfo& rule : photherm::lint::rules()) {
     known_rules.insert(rule.name);
   }
 
@@ -587,10 +173,16 @@ int run(int argc, char** argv) {
       }
       enabled.insert(name);
     } else if (arg == "--list-rules") {
-      for (const Rule& rule : rules()) {
+      for (const RuleInfo& rule : photherm::lint::rules()) {
         std::cout << rule.name << ": " << rule.summary << "\n";
       }
       return 0;
+    } else if (arg == "--github") {
+      github = true;
+    } else if (arg == "--sarif") {
+      sarif_path = value("--sarif");
+    } else if (arg == "--timings") {
+      timings = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -612,7 +204,7 @@ int run(int argc, char** argv) {
   } else if (config_path.is_relative()) {
     config_path = root / config_path;
   }
-  const Config config = load_config(config_path, known_rules);
+  const Config config = photherm::lint::load_config(config_path.string(), known_rules);
 
   // Expand inputs into a sorted, deduplicated file list: report order is
   // part of the tool's own determinism contract.
@@ -635,33 +227,61 @@ int run(int argc, char** argv) {
     }
   }
 
-  std::vector<Finding> findings;
-  Reporter reporter(config, findings);
-  std::size_t scanned = 0;
+  // Lex every file exactly once; all rule families share the token streams.
+  std::vector<SourceFile> files;
+  files.reserve(to_scan.size());
   for (const std::string& path : to_scan) {
     const std::string report_path =
-        normalize(fs::path(path).lexically_proximate(root).generic_string());
-    const SourceFile file = load_source(path, report_path);
-    ++scanned;
-    if (enabled.count("ownership")) {
-      rule_ownership(file, reporter);
-    }
-    if (enabled.count("determinism")) {
-      rule_determinism(file, reporter);
-    }
-    if (enabled.count("serialization")) {
-      rule_serialization(file, config, reporter);
-    }
-    if (enabled.count("errors")) {
-      rule_errors(file, reporter);
-    }
+        photherm::lint::normalize(fs::path(path).lexically_proximate(root).generic_string());
+    files.push_back(photherm::lint::load_source(path, report_path));
   }
+
+  std::vector<Finding> findings;
+  Reporter reporter(config, findings);
+  std::vector<std::pair<std::string, double>> rule_ms;
+  for (const RuleInfo& rule : photherm::lint::rules()) {
+    if (enabled.count(rule.name) == 0) {
+      continue;
+    }
+    // ph-lint: allow(determinism) developer-facing wall time, never persisted
+    const auto begin = std::chrono::steady_clock::now();
+    photherm::lint::run_rule(rule.name, files, config, reporter);
+    // ph-lint: allow(determinism) developer-facing wall time, never persisted
+    const auto end = std::chrono::steady_clock::now();
+    rule_ms.emplace_back(rule.name,
+                         std::chrono::duration<double, std::milli>(end - begin).count());
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) {
+      return a.path < b.path;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    return a.rule < b.rule;
+  });
 
   for (const Finding& f : findings) {
     std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
   }
-  std::cout << "photherm_lint: " << scanned << " files, " << findings.size() << " violation"
-            << (findings.size() == 1 ? "" : "s") << "\n";
+  if (github) {
+    for (const Finding& f : findings) {
+      std::cout << "::error file=" << github_escape(f.path, true)
+                << ",line=" << f.line << ",title=photherm_lint " << f.rule
+                << "::" << github_escape("[" + f.rule + "] " + f.message, false) << "\n";
+    }
+  }
+  if (!sarif_path.empty()) {
+    write_sarif(sarif_path, findings);
+  }
+  std::cout << "photherm_lint: " << files.size() << " files, " << findings.size()
+            << " violation" << (findings.size() == 1 ? "" : "s") << "\n";
+  if (timings) {
+    for (const auto& [name, ms] : rule_ms) {
+      std::cout << "photherm_lint:   " << name << " " << ms << " ms\n";
+    }
+  }
   return findings.empty() ? 0 : 2;
 }
 
